@@ -1,0 +1,35 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench report figures table1 curves docs clean all
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report -o REPORT.md
+
+figures:
+	$(PYTHON) -m repro figures
+
+table1:
+	$(PYTHON) -m repro table1
+
+curves:
+	$(PYTHON) -m repro curves
+
+docs:
+	$(PYTHON) scripts/gen_api_docs.py
+
+all: install test bench report
+
+clean:
+	rm -rf build *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

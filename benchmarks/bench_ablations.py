@@ -1,0 +1,46 @@
+"""ABL.THRESH / ABL.ANYFIT / ABL.ROWS — ablations of the design choices."""
+
+from conftest import record
+
+from repro.experiments.ablations import (
+    anyfit_ablation,
+    rows_ablation,
+    threshold_ablation,
+)
+
+
+def test_threshold(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: threshold_ablation(mus=(16, 256), seeds=(0, 1), n_items=250),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    paper = next(r for r in result.rows if "paper" in r[0])
+    all_gn = next(r for r in result.rows if "all-GN" in r[0])
+    # the paper threshold survives the ff-trap; the FF-degenerate one dies
+    assert paper[-1] < 5.0
+    assert all_gn[-1] > 10 * paper[-1]
+
+
+def test_anyfit(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: anyfit_ablation(mus=(16, 256), seeds=(0, 1, 2), n_items=250),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    # footnote 1: rules within a few percent of each other
+    for col in range(1, len(result.headers)):
+        vals = [r[col] for r in result.rows]
+        assert max(vals) - min(vals) < 0.25
+
+
+def test_rows(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: rows_ablation(mus=(16, 64, 256, 1024, 4096)), rounds=1,
+        iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # the gap factor must widen with μ (exponential separation in the limit)
+    gaps = [r[4] for r in result.rows]
+    assert gaps == sorted(gaps)

@@ -1,0 +1,41 @@
+"""COR5.8 / LEM5.9 / PROP5.3 — Section 5.1 binary-input results."""
+
+from conftest import record
+
+from repro.experiments.binary import (
+    cor58_experiment,
+    lemma59_experiment,
+    prop53_experiment,
+)
+
+
+def test_cor58(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: cor58_experiment(mus=(2, 4, 8, 16, 64, 256, 1024, 4096)),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # exact identity: zero mismatches at every μ
+    assert all(r[2] == 0 for r in result.rows)
+
+
+def test_lemma59(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: lemma59_experiment(ns=(2, 4, 8, 12, 16, 20, 24)),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_prop53(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: prop53_experiment(mus=(4, 16, 64, 256, 1024, 4096, 16384)),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # the measured ratio grows strictly (log log μ shape) yet stays under bound
+    ratios = [r[3] for r in result.rows]
+    assert ratios == sorted(ratios)

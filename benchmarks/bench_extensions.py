@@ -1,0 +1,96 @@
+"""OBJ.MOTIVATION / EXT.GREEDY / EXT.SHALOM / OPEN.ALIGN — extensions."""
+
+from conftest import record
+
+from repro.experiments.extensions import (
+    greedy_experiment,
+    open_aligned_experiment,
+    shalom_experiment,
+)
+from repro.experiments.objectives import objectives_experiment
+
+
+def test_objectives_motivation(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: objectives_experiment(mu=64, k=12), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    spike, trap = result.rows
+    assert spike[1] == trap[1]                 # max-bins blind
+    assert abs(spike[2] - trap[2]) <= 1.0      # momentary blind
+    assert trap[4] > 4 * spike[4]              # usage-time separates
+
+
+def test_greedy_extension(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: greedy_experiment(mus=(16, 64, 256)), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_shalom_equivalence(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: shalom_experiment(gs=(2, 4, 8)), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_open_aligned_search(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: open_aligned_experiment(mus=(8, 32, 128)),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # σ_μ stays the hardest known aligned family
+    for row in result.rows:
+        assert row[1] <= row[2] + 0.5
+
+
+def test_resource_augmentation(benchmark, output_dir):
+    from repro.experiments.augmentation import augmentation_experiment
+
+    result = benchmark.pedantic(
+        lambda: augmentation_experiment(), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # ε = 0.25 collapses the trap by >10×; ε = 1.0 partially re-arms it
+    by_eps = {row[0]: row[1] for row in result.rows}
+    assert by_eps[0.25] < 0.1 * by_eps[0.0]
+    assert by_eps[1.0] > by_eps[0.25]
+
+
+def test_nr_gap(benchmark, output_dir):
+    from repro.experiments.gaps import nr_gap_experiment
+
+    result = benchmark.pedantic(
+        lambda: nr_gap_experiment(), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_adaptivity(benchmark, output_dir):
+    from repro.experiments.gaps import adaptivity_experiment
+
+    result = benchmark.pedantic(
+        lambda: adaptivity_experiment(), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # the prefix ratio never exceeds a small constant even as μ grows 128×
+    assert all(row[4] < 3.0 for row in result.rows)
+
+
+def test_randomized_robustness(benchmark, output_dir):
+    from repro.experiments.randomized import randomized_experiment
+
+    result = benchmark.pedantic(
+        lambda: randomized_experiment(), rounds=1, iterations=1
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()

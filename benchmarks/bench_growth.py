@@ -1,0 +1,22 @@
+"""GROWTH — the measured ratio curves grow at Table 1's predicted rates.
+
+Least-squares law fitting must pick log log μ for CDFF-on-σ_μ, log μ for
+the static rows and the CBD trap, and linear μ for the First-Fit trap and
+the non-clairvoyant adversary.
+"""
+
+from conftest import record
+
+from repro.experiments.growth import growth_experiment
+
+
+def test_growth(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: growth_experiment(mus=(4, 16, 64, 256, 1024)),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # the static-rows curve is log μ + 1 *exactly*: zero residual
+    static = next(r for r in result.rows if "StaticRows" in r[0])
+    assert static[4] < 1e-9

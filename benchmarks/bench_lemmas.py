@@ -1,0 +1,49 @@
+"""LEM3.1 / LEM3.3 / COR3.4 / THM4.2 — Section 3 lemma validations."""
+
+from conftest import record
+
+from repro.experiments.lemmas import (
+    cor34_experiment,
+    dc_experiment,
+    lemma31_experiment,
+    lemma33_experiment,
+)
+
+
+def test_lemma31(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: lemma31_experiment(mus=(4, 16, 64), seeds=(0, 1, 2), n_items=180),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_lemma33(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: lemma33_experiment(
+            mus=(4, 16, 64, 256, 1024), seeds=(0, 1, 2), n_items=500
+        ),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_cor34(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: cor34_experiment(mus=(4, 16, 64), seeds=(0, 1, 2), n_items=120),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+
+
+def test_dc_4approx(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: dc_experiment(mus=(4, 16, 64, 256), seeds=(0, 1, 2, 3),
+                              n_items=200),
+        rounds=1, iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()

@@ -1,0 +1,42 @@
+"""Performance regression benchmarks for the hot paths.
+
+Not a paper artifact — these keep the substrate fast enough that the
+experiment sweeps stay in seconds (the HPC guides' "profile before you
+optimise" loop runs against these numbers).
+"""
+
+import numpy as np
+
+from repro.algorithms.cdff import CDFF
+from repro.algorithms.hybrid import HybridAlgorithm
+from repro.core.profile import load_profile
+from repro.core.simulation import simulate
+from repro.offline.optimal import opt_repacking
+from repro.workloads.aligned import binary_input
+from repro.workloads.random_general import uniform_random
+
+
+def test_perf_simulate_ha(benchmark):
+    inst = uniform_random(2000, 256, seed=0)
+    benchmark(lambda: simulate(HybridAlgorithm(), inst))
+
+
+def test_perf_simulate_cdff_binary(benchmark):
+    inst = binary_input(2048)  # 4095 items
+    benchmark(lambda: simulate(CDFF(), inst))
+
+
+def test_perf_load_profile(benchmark):
+    inst = uniform_random(5000, 64, seed=1)
+    benchmark(lambda: load_profile(inst).ceil_integral())
+
+
+def test_perf_opt_oracle(benchmark):
+    inst = uniform_random(800, 64, seed=2)
+    benchmark(lambda: opt_repacking(inst, max_exact=16))
+
+
+def test_perf_binary_enumeration(benchmark):
+    from repro.analysis.binary_strings import max_zero_run_all
+
+    benchmark(lambda: max_zero_run_all(20))

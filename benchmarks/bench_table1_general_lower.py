@@ -1,0 +1,25 @@
+"""T1.GEN.LB — Table 1, row 1, lower bound: Ω(√log μ) for any algorithm.
+
+Replays the Theorem 4.3 adversary against every implemented algorithm and
+asserts the proof's two certified floors: ``ON ≥ μ·⌈√log μ⌉`` and
+``ON/OPT_R ≥ √log μ / 8``.
+"""
+
+from conftest import record
+
+from repro.experiments.table1 import general_lower_experiment
+
+
+def test_table1_general_lower(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: general_lower_experiment(mus=(4, 16, 64, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # the certified ratio column must never dip below 1 (OPT is a lower
+    # bound for every online algorithm) and must respect the floor
+    for row in result.rows:
+        ratio, floor = row[4], row[5]
+        assert ratio >= max(1.0, floor) - 1e-9

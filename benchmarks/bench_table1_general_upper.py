@@ -1,0 +1,30 @@
+"""T1.GEN.UB — Table 1, row 1, upper bound: HA is O(√log μ).
+
+Regenerates the clairvoyant/general-inputs upper-bound row: HA vs
+First-Fit, classify-by-duration and Ren–Tang on random inputs and on the
+two trap families; asserts Theorem 3.2's explicit constant held.
+"""
+
+from conftest import record
+
+from repro.experiments.table1 import general_upper_experiment
+
+
+def test_table1_general_upper(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: general_upper_experiment(
+            mus=(4, 16, 64, 256), seeds=(0, 1), n_items=250
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    # shape assertions: FF must blow up on its trap, CBD on its trap,
+    # while HA stays below a small constant on every row
+    ff_trap_rows = [r for r in result.rows if r[0] == "ff-trap"]
+    cbd_trap_rows = [r for r in result.rows if r[0] == "cbd-trap"]
+    ha_col, ff_col, cbd_col = 2, 3, 4
+    assert ff_trap_rows[-1][ff_col] > 10 * ff_trap_rows[-1][ha_col]
+    assert cbd_trap_rows[-1][cbd_col] > 2 * cbd_trap_rows[-1][ha_col]
+    assert all(r[ha_col] < 4.0 for r in result.rows)

@@ -1,0 +1,30 @@
+"""T1.NC — Table 1, row 3: the non-clairvoyant setting is Θ(μ).
+
+The adaptive adversary forces First-Fit/Best-Fit into Ω(μ), while on
+random inputs FF respects the μ+4 upper bound of Tang et al. [13].
+"""
+
+from conftest import record
+
+from repro.experiments.table1 import nonclairvoyant_experiment
+
+
+def test_table1_nonclairvoyant(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: nonclairvoyant_experiment(
+            gs=(4, 8, 16, 32), random_mus=(4, 16, 64), seeds=(0, 1),
+            n_items=250,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(output_dir, result)
+    assert result.passed, result.render()
+    adversary_ff = [
+        r for r in result.rows if r[0] == "adversary" and r[2] == "FirstFit"
+    ]
+    # linear growth: ratio ≈ μ/2 at every scale
+    for row in adversary_ff:
+        mu, ratio = row[1], row[3]
+        assert ratio >= mu / 2 - 1e-6
+        assert ratio <= mu + 4  # the [13] upper bound still caps it

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark file regenerates one paper artifact (DESIGN.md §3).  The
+``benchmark`` fixture times the experiment; the experiment's own PASS flag
+asserts the paper's bound held.  Rendered tables are written to
+``benchmarks/output/`` so EXPERIMENTS.md can reference frozen copies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def record(output_dir: pathlib.Path, result) -> None:
+    """Persist an experiment's rendered table next to the benchmarks."""
+    path = output_dir / f"{result.experiment_id}.txt"
+    path.write_text(result.render())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Watching the Ω(√log μ) adversary work (Theorem 4.3).
+
+The adversary releases prefixes of σ*_t — items of lengths 1, 2, 4, …, μ
+with load 1/√(log μ) — and stops each round the moment the online
+algorithm has ⌈√log μ⌉ bins open.  The algorithm is thereby forced to keep
+√log μ bins busy forever while the optimum consolidates.
+
+This script replays the adversary against several algorithms, prints the
+first rounds in detail, and reports the certified competitive-ratio floor.
+
+Run:  python examples/adversarial_lower_bound.py
+"""
+
+import math
+
+from repro import (
+    BestFit,
+    ClassifyByDuration,
+    FirstFit,
+    HybridAlgorithm,
+    SqrtLogAdversary,
+    dual_coloring,
+    opt_reference,
+)
+
+
+def main() -> None:
+    mu = 256
+    n = int(math.log2(mu))
+    adv = SqrtLogAdversary(mu)
+    print(
+        f"μ = {mu} (log μ = {n}): item load = 1/√{n} = {adv.load:.3f}, "
+        f"target = {adv.target_bins} open bins per round\n"
+    )
+
+    for factory in (FirstFit, BestFit, ClassifyByDuration, HybridAlgorithm):
+        adv = SqrtLogAdversary(mu)
+        out = adv.run(factory())
+        released = len(out.instance)
+        opt = opt_reference(out.instance, max_exact=14)
+        dc = dual_coloring(out.instance)
+        ratio = out.online_cost / min(opt.upper, dc.cost)
+        floor = math.sqrt(n) / 8.0
+        name = out.result.algorithm
+        print(f"{name}:")
+        print(f"  adversary released {released} items over {mu} rounds")
+        print(f"  first-round prefix lengths: "
+              f"{[int(l) for l in adv.last_lengths[:10]]} ...")
+        print(f"  ON(σ) = {out.online_cost:.0f}  "
+              f"(certified floor μ·⌈√log μ⌉ = {mu * adv.target_bins})")
+        print(f"  OPT_R ≤ {min(opt.upper, dc.cost):.0f}  "
+              f"→ ratio ≥ {ratio:.2f} (theorem floor {floor:.2f})\n")
+
+    print(
+        "Every algorithm — including the paper's own HA — is pinned above the"
+        "\n√log μ / 8 floor: the bound is universal, which is why Theorem 3.2's"
+        "\nO(√log μ) algorithm is optimal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CDFF on aligned inputs, and the binary-string connection (Section 5).
+
+Shows three things:
+
+1. Figures 2–3: the binary input σ_8 and how CDFF packs it;
+2. Corollary 5.8 live: CDFF's open-bin count at time t equals
+   ``max_0(binary(t)) + 1`` — printed side by side;
+3. the exponential gap: CDFF (~log log μ) vs static per-class rows (~log μ)
+   as μ grows.
+
+Run:  python examples/aligned_inputs_cdff.py
+"""
+
+import math
+
+from repro import CDFF, StaticRowsCDFF, binary_input, simulate
+from repro.analysis.binary_strings import binary, max_zero_run
+from repro.viz.figures import figure2, figure3
+
+
+def main() -> None:
+    print(figure2(mu=8))
+    print(figure3(mu=8))
+
+    mu = 32
+    n = int(math.log2(mu))
+    res = simulate(CDFF(), binary_input(mu))
+    prof = res.open_bins_profile()
+    print(f"Corollary 5.8 on σ_{mu}: open bins at t⁺ vs max₀(binary(t)) + 1")
+    print(f"{'t':>3} {'binary(t)':>9} {'max₀+1':>7} {'CDFF':>5}")
+    for t in range(mu):
+        b = binary(t, n)
+        expected = max_zero_run(b) + 1
+        measured = int(prof(float(t)))
+        marker = "" if expected == measured else "  <-- MISMATCH"
+        print(f"{t:>3} {b:>9} {expected:>7} {measured:>5}{marker}")
+
+    print("\nDynamic rows vs static rows on σ_μ (ratio to OPT_R = μ):")
+    print(f"{'μ':>6} {'CDFF':>7} {'static':>7} {'log μ + 1':>9}")
+    for k in range(2, 13, 2):
+        m = 2**k
+        dyn = simulate(CDFF(), binary_input(m)).cost / m
+        stat = simulate(StaticRowsCDFF(), binary_input(m)).cost / m
+        print(f"{m:>6} {dyn:>7.2f} {stat:>7.2f} {k + 1:>9}")
+    print(
+        "\nThe static policy tracks log μ exactly; CDFF grows like the"
+        "\nexpected longest zero-run of a random log μ-bit string — about"
+        "\n2·log log μ.  That re-indexing of rows over time is the entire"
+        "\nexponential improvement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Cloud server allocation — the paper's motivating scenario.
+
+Users request a bandwidth share of a server for a session whose duration
+is predictable at arrival (cloud gaming).  The operator pays for every
+server-hour a machine is powered on (MinUsageTime).
+
+Part 1 synthesises diurnal traffic and compares allocation policies on it:
+on benign traffic the greedy Any-Fit policies are excellent and the
+duration-classifying policies pay overhead.  Part 2 injects one
+pathological burst (long pinned sessions interleaved with heavy short
+ones — the paper's Ω(μ) failure mode of First-Fit) and the picture
+inverts: First-Fit's bill explodes while the Hybrid Algorithm barely
+notices.  HA's O(√log μ) guarantee is exactly this insurance.
+
+Run:  python examples/cloud_server_allocation.py
+"""
+
+from repro import (
+    BestFit,
+    ClassifyByDuration,
+    FirstFit,
+    HybridAlgorithm,
+    NextFit,
+    audit,
+    cloud_gaming,
+    opt_reference,
+    simulate,
+)
+
+
+def main() -> None:
+    trace = cloud_gaming(
+        horizon=72.0,  # three "days"
+        seed=2026,
+        base_rate=3.0,
+        peak_factor=4.0,
+        mean_session=1.0,
+        max_session=12.0,
+    ).normalized()
+    st = trace.stats
+    print(
+        f"synthetic trace: {st.n_items} sessions, μ = {st.mu:.1f}, "
+        f"peak load {st.max_load:.2f} servers, demand {st.demand:.1f} server-hours"
+    )
+
+    opt = opt_reference(trace, max_exact=16)
+    print(f"offline optimum (repacking): ≥ {opt.lower:.1f} server-hours\n")
+
+    policies = [NextFit(), FirstFit(), BestFit(), ClassifyByDuration(),
+                HybridAlgorithm()]
+    rows = []
+    for policy in policies:
+        result = simulate(policy, trace)
+        audit(result)
+        rows.append((result.algorithm, result.cost, result.max_open,
+                     result.cost / opt.lower))
+
+    baseline = rows[0][1]  # NextFit, the naive policy
+    print(f"{'policy':28s} {'server-hours':>12s} {'peak servers':>12s} "
+          f"{'vs OPT≥':>8s} {'savings':>8s}")
+    for name, cost, peak, ratio in rows:
+        savings = 100.0 * (baseline - cost) / baseline
+        print(f"{name:28s} {cost:12.1f} {peak:12d} {ratio:8.3f} {savings:7.1f}%")
+    print(
+        "\nOn friendly traffic the greedy policies win — classification is"
+        "\npure overhead here.  Now the insurance case:\n"
+    )
+
+    # Part 2: one adversarial burst — long pinned sessions interleaved with
+    # heavy short ones at a single instant (the paper's First-Fit trap).
+    from repro.workloads.adversarial import ff_trap
+
+    trace_end = max(it.departure for it in trace)
+    burst = ff_trap(64, pairs=60).shifted(trace_end + 1.0)
+    stressed = trace.concat(burst)
+    opt2 = opt_reference(stressed, max_exact=12)
+    print("same trace + one pathological burst of pinned sessions:")
+    print(f"{'policy':28s} {'server-hours':>12s} {'vs OPT≥':>8s}")
+    for policy in (FirstFit(), HybridAlgorithm()):
+        result = simulate(policy, stressed)
+        audit(result)
+        print(f"{result.algorithm:28s} {result.cost:12.1f} "
+              f"{result.cost / opt2.lower:8.3f}")
+    print(
+        "\nOne burst and First-Fit's bill explodes (it pays ~μ per pinned"
+        "\nsession) while HA consolidates the pins into CD bins and keeps its"
+        "\nO(√log μ) guarantee.  That worst-case robustness — at a few percent"
+        "\novercost on calm days — is what the paper proves you can buy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Why clairvoyance matters: the Θ(μ) non-clairvoyant wall (Table 1, row 3).
+
+Without departure times, an adaptive adversary can pin every bin an
+algorithm opens: release g² tiny items, keep one survivor per bin alive
+forever, kill the rest.  The algorithm cannot repack, so its bins idle at
+1/g load for the whole horizon while the optimum consolidates survivors
+into a single bin.
+
+This script sweeps μ and shows the non-clairvoyant ratio growing linearly
+while clairvoyant HA (on the same realised instances) stays flat.
+
+Run:  python examples/nonclairvoyant_gap.py
+"""
+
+from repro import (
+    FirstFit,
+    HybridAlgorithm,
+    NonClairvoyantAdversary,
+    opt_reference,
+    simulate,
+)
+
+
+def main() -> None:
+    print(f"{'μ=g':>5} {'NC FirstFit':>12} {'clairvoyant HA':>15} {'μ+4':>6}")
+    for g in (4, 8, 16, 32):
+        adv = NonClairvoyantAdversary(g, float(g))
+        out = adv.run(FirstFit(clairvoyant=False))
+        opt = opt_reference(out.instance, max_exact=12)
+        nc_ratio = out.online_cost / opt.upper
+
+        # replay the *realised* instance clairvoyantly: HA sees departures
+        ha = simulate(HybridAlgorithm(), out.instance.normalized())
+        ha_ratio = ha.cost / opt_reference(
+            out.instance.normalized(), max_exact=12
+        ).lower
+
+        print(f"{g:>5} {nc_ratio:>12.2f} {ha_ratio:>15.2f} {g + 4:>6}")
+
+    print(
+        "\nThe non-clairvoyant ratio tracks ~μ/2 (the adversary's force) and"
+        "\nFirst-Fit cannot do better than μ+4 in that setting [13][7]."
+        "\nGiven departure times, the same instances are nearly free for HA —"
+        "\nthe exponential value of clairvoyance this paper quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

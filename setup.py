@@ -1,0 +1,9 @@
+"""Legacy setup shim — metadata lives in pyproject.toml.
+
+Kept for maximal compatibility with legacy tooling; modern pip uses the
+pyproject.toml [build-system] table directly.
+"""
+
+from setuptools import setup
+
+setup()

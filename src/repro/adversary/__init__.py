@@ -1,0 +1,13 @@
+"""Adaptive adversaries: the paper's lower bound and the cited Ω(μ) one."""
+
+from .base import AdaptiveAdversary, AdversaryOutcome, realized_instance
+from .nonclairvoyant import NonClairvoyantAdversary
+from .sqrt_log import SqrtLogAdversary
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdversaryOutcome",
+    "realized_instance",
+    "SqrtLogAdversary",
+    "NonClairvoyantAdversary",
+]

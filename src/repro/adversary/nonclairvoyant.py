@@ -1,0 +1,78 @@
+"""The non-clairvoyant Ω(μ) adversary (Table 1, row 3; Li et al. [7]).
+
+In the non-clairvoyant setting departure times are revealed only at
+departure, so an *adaptive* adversary may decide them after watching where
+the algorithm packed each item.  The classical construction (implemented in
+the style of Li et al.):
+
+1. at time 0, release ``g²`` items of size ``1/g`` with *unknown*
+   departures — any algorithm must spread them over at least ``g`` bins;
+2. in every bin the algorithm opened, pick one *survivor*; depart all other
+   items at time 1;
+3. depart the survivors at time μ.
+
+The algorithm is stuck with ``≥ g`` bins open until μ (it cannot repack),
+paying ``≥ g·μ``; the offline optimum packs the ``b ≤ g²/g…`` survivors
+into ``⌈b/g⌉`` bins and everything else into short-lived bins, paying
+``O(⌈b/g⌉·μ + g)``.  With ``g = μ`` the ratio is ``Ω(μ)`` — matching the
+``μ + 4`` upper bound of First-Fit [13] up to constants.
+
+This demonstrates the Table 1 row; it is not a re-proof of [7]'s bound for
+every algorithm (DESIGN.md §4, substitution 3).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimulationError
+from ..core.item import Item
+from .base import AdaptiveAdversary
+
+__all__ = ["NonClairvoyantAdversary"]
+
+
+class NonClairvoyantAdversary(AdaptiveAdversary):
+    """Adaptive-departure adversary forcing Ω(min(g, μ)).
+
+    Parameters
+    ----------
+    g:
+        Granularity: item size is ``1/g`` and ``g²`` items are released.
+    mu:
+        Final max/min length ratio (survivors live ``[0, μ]``, the rest
+        ``[0, 1]``).
+    """
+
+    def __init__(self, g: int, mu: float) -> None:
+        if g < 1:
+            raise ValueError("g must be a positive integer")
+        if mu <= 1:
+            raise ValueError("μ must exceed 1")
+        self.g = g
+        self.mu = float(mu)
+        self.name = f"NonClairvoyantAdversary(g={g}, mu={mu:g})"
+
+    def drive(self, sim) -> None:
+        if getattr(sim.algorithm, "clairvoyant", True):
+            raise SimulationError(
+                "the non-clairvoyant adversary requires a non-clairvoyant "
+                "algorithm (items have undetermined departures)"
+            )
+        g = self.g
+        size = 1.0 / g
+        placements: dict[int, int] = {}
+        for uid in range(g * g):
+            b = sim.release(Item(0.0, None, size, uid=uid))
+            placements[uid] = b.uid
+        # one survivor per open bin: the first item the bin received
+        survivors: set[int] = set()
+        seen_bins: set[int] = set()
+        for uid in range(g * g):
+            b = placements[uid]
+            if b not in seen_bins:
+                seen_bins.add(b)
+                survivors.add(uid)
+        for uid in range(g * g):
+            if uid not in survivors:
+                sim.depart(uid, 1.0)
+        for uid in sorted(survivors):
+            sim.depart(uid, self.mu)

@@ -1,0 +1,113 @@
+"""Competitive-ratio measurement and growth-law fitting.
+
+A measured "competitive ratio" on one input is ``ALG(σ) / OPT(σ)`` for a
+chosen OPT reference.  Because exact OPT is not always affordable, ratios
+are reported as intervals: dividing by the OPT *upper* bound gives a
+certified lower estimate of the ratio, dividing by the OPT *lower* bound a
+certified upper estimate.  Experiments aggregate these over seeds and μ
+values and fit growth laws (``c·√log μ``, ``c·log log μ``, …) by least
+squares to compare against Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.simulation import simulate
+from ..core.validate import audit
+from ..offline.bounds import OptSandwich
+from ..offline.optimal import opt_reference
+
+__all__ = ["RatioEstimate", "measure_ratio", "fit_growth", "GrowthFit"]
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """ALG/OPT with OPT known only as a sandwich."""
+
+    algorithm: str
+    cost: float
+    opt: OptSandwich
+
+    @property
+    def lower(self) -> float:
+        """Certified lower bound on the true ratio."""
+        return self.cost / self.opt.upper if self.opt.upper > 0 else math.inf
+
+    @property
+    def upper(self) -> float:
+        """Certified upper bound on the true ratio."""
+        return self.cost / self.opt.lower if self.opt.lower > 0 else math.inf
+
+    @property
+    def point(self) -> float:
+        """Best point estimate (against the OPT lower bound, conservative)."""
+        return self.upper
+
+    def __str__(self) -> str:
+        if self.opt.exact:
+            return f"{self.algorithm}: ratio={self.lower:.3f}"
+        return f"{self.algorithm}: ratio∈[{self.lower:.3f}, {self.upper:.3f}]"
+
+
+def measure_ratio(
+    algorithm_factory: Callable[[], object],
+    instance: Instance,
+    *,
+    capacity: float = 1.0,
+    verify: bool = True,
+    max_exact: int = 26,
+) -> RatioEstimate:
+    """Run the algorithm, audit the packing, and compare with OPT_R."""
+    result = simulate(algorithm_factory(), instance, capacity=capacity)
+    if verify:
+        audit(result)
+    opt = opt_reference(instance, capacity=capacity, max_exact=max_exact)
+    return RatioEstimate(result.algorithm, result.cost, opt)
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Least-squares fit ``ratio ≈ a·g(μ) + b`` for a growth law ``g``."""
+
+    law: str
+    a: float
+    b: float
+    residual: float  #: RMS residual of the fit
+
+    def predict(self, g_value: float) -> float:
+        return self.a * g_value + self.b
+
+
+def fit_growth(
+    mus: Sequence[float],
+    ratios: Sequence[float],
+    law: Callable[[float], float],
+    *,
+    name: str = "g",
+) -> GrowthFit:
+    """Fit ``ratio = a·law(μ) + b`` by least squares."""
+    x = np.asarray([law(m) for m in mus], dtype=float)
+    y = np.asarray(ratios, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need at least two (μ, ratio) points")
+    A = np.column_stack([x, np.ones_like(x)])
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    resid = float(np.sqrt(np.mean((A @ coef - y) ** 2)))
+    return GrowthFit(law=name, a=float(coef[0]), b=float(coef[1]), residual=resid)
+
+
+def best_law(
+    mus: Sequence[float],
+    ratios: Sequence[float],
+    laws: Iterable[tuple[str, Callable[[float], float]]],
+) -> GrowthFit:
+    """The law with the smallest RMS residual — used to sanity-check that
+    measured growth matches the predicted order, not a competing one."""
+    fits = [fit_growth(mus, ratios, law, name=name) for name, law in laws]
+    return min(fits, key=lambda f: f.residual)

@@ -1,0 +1,82 @@
+"""Aggregation statistics for multi-seed experiments.
+
+Competitive-ratio measurements vary across seeds; experiments report a
+point estimate with a confidence interval rather than bare means.  This
+module provides:
+
+- :func:`summarize` — mean, standard deviation, min/max;
+- :func:`bootstrap_ci` — a percentile bootstrap confidence interval for
+  the mean (no normality assumption — ratio distributions are skewed);
+- :class:`Summary` — the bundle, with compact formatting for tables.
+
+All randomness is seeded; everything is NumPy-vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one measured quantity over seeds."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        if self.n == 1:
+            return f"{self.mean:.3f}"
+        return f"{self.mean:.3f} [{self.ci_low:.3f}, {self.ci_high:.3f}]"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``values``."""
+    xs = np.asarray(values, dtype=float)
+    if xs.size == 0:
+        raise ValueError("need at least one value")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if xs.size == 1:
+        return float(xs[0]), float(xs[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, xs.size, size=(n_resamples, xs.size))
+    means = xs[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def summarize(
+    values: Sequence[float], *, confidence: float = 0.95, seed: int = 0
+) -> Summary:
+    """Full summary of a sample (mean, spread, bootstrap CI)."""
+    xs = np.asarray(values, dtype=float)
+    if xs.size == 0:
+        raise ValueError("need at least one value")
+    lo, hi = bootstrap_ci(xs, confidence=confidence, seed=seed)
+    return Summary(
+        n=int(xs.size),
+        mean=float(xs.mean()),
+        std=float(xs.std(ddof=1)) if xs.size > 1 else 0.0,
+        min=float(xs.min()),
+        max=float(xs.max()),
+        ci_low=lo,
+        ci_high=hi,
+    )

@@ -1,0 +1,82 @@
+"""Closed forms of every bound in Table 1, for overlaying on measurements.
+
+Each function maps μ to the corresponding competitive-ratio bound.  The
+constants exposed here are the ones the paper's proofs actually yield
+(e.g. HA's ratio is at most ``2 + 8√log μ`` against ``OPT_R(σ′)`` before
+the 16× reduction loss), so experiments can check the *provable* constants,
+not just the asymptotic order.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2_safe",
+    "sqrt_log_mu",
+    "loglog_mu",
+    "ha_upper_bound",
+    "ha_gn_bound",
+    "cdff_binary_upper_bound",
+    "cdff_aligned_upper_bound",
+    "rentang_upper_bound",
+    "ff_nonclairvoyant_upper_bound",
+    "lower_bound_sqrt_log",
+]
+
+
+def log2_safe(mu: float) -> float:
+    """``max(1, log₂ μ)`` — the paper's ``log μ`` with the μ→1 corner guarded."""
+    return max(1.0, math.log2(max(mu, 1.0)))
+
+
+def sqrt_log_mu(mu: float) -> float:
+    """``√log₂ μ`` — the order of Table 1's general-input bounds."""
+    return math.sqrt(log2_safe(mu))
+
+
+def loglog_mu(mu: float) -> float:
+    """``log₂ log₂ μ`` (guarded) — the order of the aligned-input bound."""
+    return max(1.0, math.log2(log2_safe(mu)))
+
+
+def ha_gn_bound(mu: float) -> float:
+    """Lemma 3.3: HA keeps at most ``2 + 4√log μ`` GN bins open."""
+    return 2.0 + 4.0 * sqrt_log_mu(mu)
+
+
+def ha_upper_bound(mu: float) -> float:
+    """Theorem 3.2's explicit constant chain.
+
+    ``HA_t ≤ 2 + 8√log μ · max(1, k_t / 4√log μ) ≤ (2 + 8√log μ)·OPT_R^t(σ′)``
+    and Corollary 3.4 loses another factor 16, so
+    ``HA(σ) ≤ 16·(2 + 8√log μ)·OPT_R(σ)`` — the provable (loose) constant.
+    """
+    return 16.0 * (2.0 + 8.0 * sqrt_log_mu(mu))
+
+
+def cdff_binary_upper_bound(mu: float) -> float:
+    """Proposition 5.3: ``CDFF(σ_μ) ≤ (2 log log μ + 1)·OPT_R(σ_μ)``."""
+    return 2.0 * loglog_mu(mu) + 1.0
+
+
+def cdff_aligned_upper_bound(mu: float) -> float:
+    """Theorem 5.1's explicit constant: ``(8 + 16 log log μ)·OPT_R(σ)``."""
+    return 8.0 + 16.0 * loglog_mu(mu)
+
+
+def rentang_upper_bound(mu: float, n: int) -> float:
+    """Ren & Tang's ``μ^{1/n} + n + 3`` upper bound (μ known)."""
+    return mu ** (1.0 / max(n, 1)) + n + 3.0
+
+
+def ff_nonclairvoyant_upper_bound(mu: float) -> float:
+    """Tang et al. [13]: First-Fit is ``μ + 4`` competitive (non-clairvoyant)."""
+    return mu + 4.0
+
+
+def lower_bound_sqrt_log(mu: float) -> float:
+    """Theorem 4.3's constant: any online algorithm is at least
+    ``√log μ / 8`` competitive against OPT_R on the adversary's input
+    (inequality (4): ``OPT_R ≤ 8/√log μ · ON``)."""
+    return sqrt_log_mu(mu) / 8.0

@@ -1,0 +1,193 @@
+"""Command-line interface: ``repro-dbp`` (or ``python -m repro``).
+
+Subcommands::
+
+    repro-dbp list                 # list all registered experiments
+    repro-dbp run T1.GEN.UB ...    # run specific experiments by id
+    repro-dbp table1               # the four Table 1 rows
+    repro-dbp figures              # Figures 1-3
+    repro-dbp lemmas               # lemma validations
+    repro-dbp all                  # everything
+    repro-dbp demo                 # a 10-second guided tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Sequence
+
+from .experiments import EXPERIMENTS
+
+_GROUPS = {
+    "table1": ["T1.GEN.UB", "T1.GEN.LB", "T1.ALIGN.UB", "T1.NC"],
+    "figures": ["FIG1", "FIG2", "FIG3"],
+    "lemmas": ["LEM3.1", "LEM3.3", "LEM3.5", "COR3.4", "THM4.2",
+               "LEM5.5", "LEM5.12"],
+    "binary": ["COR5.8", "LEM5.9", "PROP5.3"],
+    "ablations": ["ABL.THRESH", "ABL.ANYFIT", "ABL.ROWS"],
+    "growth": ["GROWTH"],
+    "extensions": ["OBJ.MOTIVATION", "EXT.GREEDY", "EXT.SHALOM", "EXT.AUGMENT",
+                   "EXT.NRGAP", "EXT.ADAPT", "EXT.RANDOM", "OPEN.ALIGN",
+                   "OPEN.GEN"],
+}
+
+
+def _run(ids: Iterable[str]) -> int:
+    failures = 0
+    for eid in ids:
+        fn = EXPERIMENTS.get(eid)
+        if fn is None:
+            print(f"unknown experiment id: {eid}", file=sys.stderr)
+            failures += 1
+            continue
+        result = fn()
+        print(result.render())
+        if not result.passed:
+            failures += 1
+    return failures
+
+
+def _demo() -> int:
+    from . import (
+        CDFF,
+        FirstFit,
+        HybridAlgorithm,
+        binary_input,
+        opt_reference,
+        simulate,
+        uniform_random,
+    )
+
+    inst = uniform_random(150, 64, seed=42)
+    print(f"random instance: {inst!r}")
+    for alg in (FirstFit(), HybridAlgorithm()):
+        res = simulate(alg, inst)
+        print(f"  {res.algorithm:16s} cost={res.cost:9.2f} bins={res.n_bins}")
+    opt = opt_reference(inst, max_exact=18)
+    print(f"  OPT_R ∈ [{opt.lower:.2f}, {opt.upper:.2f}]")
+    sig = binary_input(64)
+    res = simulate(CDFF(), sig)
+    print(f"σ_64: CDFF cost={res.cost:g} (OPT_R = 64); ratio={res.cost/64:.3f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dbp",
+        description="Reproduction harness for 'Tight Bounds for Clairvoyant "
+        "Dynamic Bin Packing' (SPAA 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiment ids")
+    runp = sub.add_parser("run", help="run experiments by id")
+    runp.add_argument("ids", nargs="+", metavar="EXPERIMENT_ID")
+    for group in _GROUPS:
+        sub.add_parser(group, help=f"run the {group} experiments")
+    sub.add_parser("all", help="run every registered experiment")
+    sub.add_parser("demo", help="a quick guided tour")
+    sub.add_parser("curves", help="growth curves as ASCII charts")
+    reportp = sub.add_parser(
+        "report", help="run experiments and write a Markdown report"
+    )
+    reportp.add_argument("-o", "--output", default="REPORT.md")
+    reportp.add_argument(
+        "ids", nargs="*", metavar="EXPERIMENT_ID",
+        help="subset to run (default: everything)",
+    )
+    packp = sub.add_parser(
+        "pack", help="pack a CSV trace with a chosen algorithm"
+    )
+    packp.add_argument(
+        "csv", nargs="?", help="instance file (arrival,departure,size)"
+    )
+    packp.add_argument(
+        "-a", "--algorithm", default="HybridAlgorithm",
+        help="algorithm name (see --list-algorithms)",
+    )
+    packp.add_argument("--capacity", type=float, default=1.0)
+    packp.add_argument(
+        "--render", action="store_true", help="draw the packing (ASCII)"
+    )
+    packp.add_argument(
+        "--list-algorithms", action="store_true",
+        help="print available algorithm names and exit",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for eid in sorted(EXPERIMENTS):
+            print(eid)
+        return 0
+    if args.command == "demo":
+        return _demo()
+    if args.command == "curves":
+        from .experiments.curves import growth_charts
+
+        print(growth_charts())
+        return 0
+    if args.command == "report":
+        from .experiments.report import generate_report
+
+        text = generate_report(args.ids or None, out_path=args.output)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        return 0
+    if args.command == "pack":
+        return _pack(args)
+    if args.command == "run":
+        return _run(args.ids)
+    if args.command == "all":
+        return _run(sorted(EXPERIMENTS))
+    return _run(_GROUPS[args.command])
+
+
+def _pack(args) -> int:
+    from .parallel import ALGORITHM_REGISTRY, _registry
+
+    if args.list_algorithms:
+        for name in ALGORITHM_REGISTRY:
+            print(name)
+        return 0
+    if not args.csv:
+        print("pack: a CSV path is required (or --list-algorithms)",
+              file=sys.stderr)
+        return 1
+    registry = _registry()
+    if args.algorithm not in registry:
+        print(
+            f"unknown algorithm {args.algorithm!r}; options: "
+            + ", ".join(ALGORITHM_REGISTRY),
+            file=sys.stderr,
+        )
+        return 1
+    from .core.simulation import simulate
+    from .core.validate import audit
+    from .offline.optimal import opt_reference
+    from .workloads.io import load_csv
+
+    instance = load_csv(args.csv)
+    result = simulate(registry[args.algorithm](), instance,
+                      capacity=args.capacity)
+    audit(result)
+    st = instance.stats
+    print(
+        f"{args.csv}: {st.n_items} items, μ={st.mu:g}, span={st.span:g}, "
+        f"demand={st.demand:g}"
+    )
+    print(
+        f"{result.algorithm}: cost={result.cost:g} bins={result.n_bins} "
+        f"max_open={result.max_open}"
+    )
+    if args.capacity == 1.0:
+        opt = opt_reference(instance, max_exact=16)
+        print(f"OPT_R ∈ [{opt.lower:g}, {opt.upper:g}]  "
+              f"→ certified ratio ≤ {result.cost / opt.lower:.3f}")
+    if args.render:
+        from .viz.ascii import render_packing
+
+        print(render_packing(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

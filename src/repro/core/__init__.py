@@ -1,0 +1,64 @@
+"""Core substrate: items, instances, load profiles, bins, the simulator.
+
+Everything above this package (algorithms, adversaries, offline oracles,
+experiments) is built on these primitives.
+"""
+
+from .bins import Bin, BinRecord, LOAD_EPS
+from .errors import (
+    AlignmentError,
+    CapacityExceededError,
+    ClairvoyanceError,
+    InvalidInstanceError,
+    InvalidItemError,
+    PackingError,
+    ReproError,
+    SimulationError,
+)
+from .instance import Instance, InstanceStats
+from .intervals import (
+    gaps,
+    intersection_measure,
+    merge_intervals,
+    union_measure,
+)
+from .item import Item, UNKNOWN_DEPARTURE
+from .objectives import max_bins, momentary_ratio, optimal_bins_profile, usage_time
+from .profile import LoadProfile, load_profile
+from .result import PackingResult
+from .simulation import IncrementalSimulation, simulate
+from .validate import audit, audit_cost, check_feasible_bin
+
+__all__ = [
+    "Bin",
+    "BinRecord",
+    "LOAD_EPS",
+    "Item",
+    "UNKNOWN_DEPARTURE",
+    "Instance",
+    "InstanceStats",
+    "merge_intervals",
+    "union_measure",
+    "intersection_measure",
+    "gaps",
+    "LoadProfile",
+    "load_profile",
+    "usage_time",
+    "max_bins",
+    "momentary_ratio",
+    "optimal_bins_profile",
+    "PackingResult",
+    "IncrementalSimulation",
+    "simulate",
+    "audit",
+    "audit_cost",
+    "check_feasible_bin",
+    "ReproError",
+    "InvalidItemError",
+    "InvalidInstanceError",
+    "CapacityExceededError",
+    "PackingError",
+    "SimulationError",
+    "ClairvoyanceError",
+    "AlignmentError",
+]

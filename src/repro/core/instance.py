@@ -1,0 +1,210 @@
+"""Instances: ordered collections of items with validated model invariants.
+
+An :class:`Instance` is the paper's ``σ``.  Items are kept in *release
+order*: non-decreasing arrival time, with ties preserved in construction
+order (the paper lets simultaneous items arrive "with some arbitrary order";
+the instance order **is** that order, and the simulator honours it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .errors import InvalidInstanceError
+from .item import Item
+
+__all__ = ["Instance", "InstanceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceStats:
+    """Summary statistics of an instance (see Section 2 of the paper)."""
+
+    n_items: int
+    mu: float  #: max/min interval-length ratio
+    min_length: float
+    max_length: float
+    demand: float  #: d(σ) = Σ s·l
+    span: float  #: span(σ) = |∪ I(r)|
+    max_load: float  #: max_t S_t(σ)
+    total_size: float
+
+
+class Instance(Sequence[Item]):
+    """An immutable, validated sequence of items in release order."""
+
+    __slots__ = ("_items", "_stats")
+
+    def __init__(self, items: Iterable[Item], *, reassign_uids: bool = True):
+        items = list(items)
+        if reassign_uids:
+            items = [
+                Item(it.arrival, it.departure, it.size, uid=k)
+                for k, it in enumerate(items)
+            ]
+        self._validate(items)
+        self._items: tuple[Item, ...] = tuple(items)
+        self._stats: InstanceStats | None = None
+
+    @staticmethod
+    def _validate(items: list[Item]) -> None:
+        last_arrival = -math.inf
+        seen_uids: set[int] = set()
+        for it in items:
+            if it.departure is None:
+                raise InvalidInstanceError(
+                    f"instance items must have known departures, got {it}"
+                )
+            if it.arrival < last_arrival:
+                raise InvalidInstanceError(
+                    "items must be in non-decreasing arrival order "
+                    f"({it} arrives before {last_arrival:g})"
+                )
+            last_arrival = it.arrival
+            if it.uid in seen_uids:
+                raise InvalidInstanceError(f"duplicate item uid {it.uid}")
+            seen_uids.add(it.uid)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tuples(
+        cls, triples: Iterable[tuple[float, float, float]]
+    ) -> "Instance":
+        """Build from ``(arrival, departure, size)`` triples, sorting by arrival.
+
+        Ties in arrival keep the input order (stable sort), matching the
+        paper's "arbitrary but fixed" simultaneous-arrival order.
+        """
+        items = [Item(a, d, s) for (a, d, s) in triples]
+        items.sort(key=lambda it: it.arrival)
+        return cls(items)
+
+    def map(self, fn: Callable[[Item], Item]) -> "Instance":
+        """A new instance with ``fn`` applied to every item (re-sorted, uids kept)."""
+        items = sorted((fn(it) for it in self._items), key=lambda it: it.arrival)
+        return Instance(items, reassign_uids=False)
+
+    def shifted(self, delta: float) -> "Instance":
+        return self.map(lambda it: it.shifted(delta))
+
+    def scaled(self, factor: float) -> "Instance":
+        return self.map(lambda it: it.scaled(factor))
+
+    def normalized(self) -> "Instance":
+        """Scaled so the minimum interval length is exactly 1.
+
+        The paper's Section 3 assumes the shortest item has length ≥ 1; this
+        helper makes any instance conform without changing μ or competitive
+        ratios (MinUsageTime is homogeneous under time scaling).
+        """
+        if not self._items:
+            return self
+        m = min(it.length for it in self._items)
+        return self.scaled(1.0 / m)
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx):  # type: ignore[override]
+        if isinstance(idx, slice):
+            return Instance(self._items[idx], reassign_uids=False)
+        return self._items[idx]
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        st = self.stats
+        return (
+            f"Instance(n={st.n_items}, mu={st.mu:g}, span={st.span:g}, "
+            f"demand={st.demand:g})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics (paper Section 2)
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> tuple[Item, ...]:
+        return self._items
+
+    @property
+    def stats(self) -> InstanceStats:
+        if self._stats is None:
+            object.__setattr__(self, "_stats", self._compute_stats())
+        assert self._stats is not None
+        return self._stats
+
+    def _compute_stats(self) -> InstanceStats:
+        if not self._items:
+            return InstanceStats(0, 1.0, math.inf, 0.0, 0.0, 0.0, 0.0, 0.0)
+        from .intervals import union_measure
+
+        lengths = [it.length for it in self._items]
+        min_len, max_len = min(lengths), max(lengths)
+        span = union_measure(
+            (it.arrival, it.departure) for it in self._items  # type: ignore[misc]
+        )
+        # max load via a sweep over ±size events (departures first on ties)
+        events: list[tuple[float, float]] = []
+        for it in self._items:
+            events.append((it.arrival, it.size))
+            events.append((it.departure, -it.size))  # type: ignore[arg-type]
+        events.sort()
+        load = 0.0
+        max_load = 0.0
+        for _, ds in events:
+            load += ds
+            max_load = max(max_load, load)
+        return InstanceStats(
+            n_items=len(self._items),
+            mu=max_len / min_len,
+            min_length=min_len,
+            max_length=max_len,
+            demand=sum(it.demand for it in self._items),
+            span=span,
+            max_load=max_load,
+            total_size=sum(it.size for it in self._items),
+        )
+
+    @property
+    def mu(self) -> float:
+        """μ — the max/min interval-length ratio."""
+        return self.stats.mu
+
+    @property
+    def demand(self) -> float:
+        """d(σ) — total space–time demand."""
+        return self.stats.demand
+
+    @property
+    def span(self) -> float:
+        """span(σ) — measure of time during which some item is active."""
+        return self.stats.span
+
+    def active_at(self, t: float) -> list[Item]:
+        """The items active at time ``t`` (half-open semantics)."""
+        return [it for it in self._items if it.active_at(t)]
+
+    def load_at(self, t: float) -> float:
+        """S_t(σ) — total size of items active at time ``t``."""
+        return sum(it.size for it in self.active_at(t))
+
+    def concat(self, other: "Instance") -> "Instance":
+        """Merge two instances (items re-sorted by arrival, uids reassigned)."""
+        merged = sorted(
+            list(self._items) + list(other.items), key=lambda it: it.arrival
+        )
+        return Instance(merged)

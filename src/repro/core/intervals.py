@@ -1,0 +1,85 @@
+"""Half-open interval arithmetic.
+
+The union measure of item intervals is the cost kernel of MinUsageTime
+(a bin's usage is the measure of the union of its residents' intervals).
+This module centralises that arithmetic; :mod:`repro.core.instance`,
+:mod:`repro.offline.optimal` and :mod:`repro.offline.dual_coloring` all
+build on it.
+
+All intervals are half-open ``[lo, hi)`` with ``hi > lo``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "merge_intervals",
+    "union_measure",
+    "intersection_measure",
+    "covers",
+    "gaps",
+]
+
+Interval = Tuple[float, float]
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sorted, disjoint intervals whose union equals the input's union.
+
+    Touching intervals (``a.hi == b.lo``) are merged — half-open semantics
+    make their union connected.
+    """
+    ivs = sorted(intervals)
+    if not ivs:
+        return []
+    for lo, hi in ivs:
+        if hi <= lo:
+            raise ValueError(f"invalid interval [{lo}, {hi})")
+    merged: List[Interval] = [ivs[0]]
+    for lo, hi in ivs[1:]:
+        mlo, mhi = merged[-1]
+        if lo > mhi:
+            merged.append((lo, hi))
+        elif hi > mhi:
+            merged[-1] = (mlo, hi)
+    return merged
+
+
+def union_measure(intervals: Iterable[Interval]) -> float:
+    """Total length of the union of the intervals."""
+    return sum(hi - lo for lo, hi in merge_intervals(intervals))
+
+
+def intersection_measure(
+    a: Sequence[Interval], b: Sequence[Interval]
+) -> float:
+    """Measure of (∪a) ∩ (∪b) by a two-pointer sweep over merged inputs."""
+    ma, mb = merge_intervals(a), merge_intervals(b)
+    i = j = 0
+    total = 0.0
+    while i < len(ma) and j < len(mb):
+        lo = max(ma[i][0], mb[j][0])
+        hi = min(ma[i][1], mb[j][1])
+        if hi > lo:
+            total += hi - lo
+        if ma[i][1] <= mb[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def covers(intervals: Iterable[Interval], point: float) -> bool:
+    """Whether the union contains ``point`` (half-open)."""
+    return any(lo <= point < hi for lo, hi in intervals)
+
+
+def gaps(intervals: Iterable[Interval]) -> List[Interval]:
+    """The maximal holes strictly between consecutive merged intervals."""
+    merged = merge_intervals(intervals)
+    return [
+        (a_hi, b_lo)
+        for (_, a_hi), (b_lo, _) in zip(merged, merged[1:])
+        if b_lo > a_hi
+    ]

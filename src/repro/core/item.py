@@ -1,0 +1,132 @@
+"""Items of the MinUsageTime dynamic bin packing problem.
+
+An item (the paper's ``r``) is a triple: an active interval
+``I(r) = [arrival, departure)`` and a size ``s(r) ∈ (0, 1]``.  In the
+clairvoyant setting the departure time is known upon arrival; the simulator
+supports hiding it from non-clairvoyant algorithms (see
+:meth:`Item.masked`) and *adaptive* items whose departure is genuinely
+undetermined at release time (``departure=None``), which is what adaptive
+non-clairvoyant adversaries need.
+
+Intervals are treated as half-open for overlap/load purposes: an item
+departing at time ``t`` and an item arriving at ``t`` never coexist.  This
+matches the paper's ``t^-`` / ``t^+`` convention for aligned inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import InvalidItemError
+
+__all__ = ["Item", "UNKNOWN_DEPARTURE"]
+
+#: Sentinel meaning "the departure time has not been revealed yet".
+UNKNOWN_DEPARTURE: None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """A single request.
+
+    Parameters
+    ----------
+    arrival:
+        Time ``t_r`` at which the item must be packed.
+    departure:
+        Time ``f_r`` at which the item leaves its bin, or ``None`` when the
+        departure is not (yet) known — used for adaptive adversaries and for
+        masking clairvoyant information.
+    size:
+        Load ``s(r) ∈ (0, 1]`` the item occupies while active.
+    uid:
+        Unique identifier inside an instance.  Assigned by
+        :class:`~repro.core.instance.Instance` when items are built through
+        it; callers constructing raw items may pass their own.
+    """
+
+    arrival: float
+    departure: Optional[float]
+    size: float
+    uid: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.arrival):
+            raise InvalidItemError(f"arrival must be finite, got {self.arrival!r}")
+        if self.departure is not None:
+            if not math.isfinite(self.departure):
+                raise InvalidItemError(
+                    f"departure must be finite or None, got {self.departure!r}"
+                )
+            if self.departure <= self.arrival:
+                raise InvalidItemError(
+                    "departure must be strictly after arrival "
+                    f"(got [{self.arrival}, {self.departure}))"
+                )
+        if not (0.0 < self.size <= 1.0):
+            raise InvalidItemError(f"size must lie in (0, 1], got {self.size!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def clairvoyant(self) -> bool:
+        """Whether the departure time is visible on this item object."""
+        return self.departure is not None
+
+    @property
+    def length(self) -> float:
+        """Interval length ``l(I(r)) = f_r - t_r`` (requires a known departure)."""
+        if self.departure is None:
+            raise InvalidItemError("length of an item with unknown departure")
+        return self.departure - self.arrival
+
+    @property
+    def demand(self) -> float:
+        """Space–time demand ``s(r) · l(I(r))``."""
+        return self.size * self.length
+
+    def active_at(self, t: float) -> bool:
+        """Whether the item is active at time ``t`` (half-open interval).
+
+        Items with unknown departure are considered active at any
+        ``t >= arrival``; the simulator tracks their true lifetime.
+        """
+        if t < self.arrival:
+            return False
+        return self.departure is None or t < self.departure
+
+    def overlaps(self, other: "Item") -> bool:
+        """Whether two (known-departure) items are simultaneously active."""
+        if self.departure is None or other.departure is None:
+            raise InvalidItemError("overlap test requires known departures")
+        return self.arrival < other.departure and other.arrival < self.departure
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def masked(self) -> "Item":
+        """A copy with the departure hidden (non-clairvoyant view)."""
+        return replace(self, departure=None)
+
+    def with_departure(self, departure: float) -> "Item":
+        """A copy with the departure (re)set — used by the alignment reduction."""
+        return replace(self, departure=departure)
+
+    def shifted(self, delta: float) -> "Item":
+        """A copy translated in time by ``delta``."""
+        dep = None if self.departure is None else self.departure + delta
+        return replace(self, arrival=self.arrival + delta, departure=dep)
+
+    def scaled(self, factor: float) -> "Item":
+        """A copy with times multiplied by ``factor > 0`` (sizes unchanged)."""
+        if factor <= 0:
+            raise InvalidItemError(f"scale factor must be positive, got {factor!r}")
+        dep = None if self.departure is None else self.departure * factor
+        return replace(self, arrival=self.arrival * factor, departure=dep)
+
+    def __str__(self) -> str:  # compact, used in ASCII renderings
+        dep = "?" if self.departure is None else f"{self.departure:g}"
+        return f"r{self.uid}[{self.arrival:g},{dep})x{self.size:g}"

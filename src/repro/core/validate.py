@@ -1,0 +1,103 @@
+"""Independent audit of packing results.
+
+The simulator already enforces capacity at insertion time, but tests and
+benchmarks re-verify every result *from scratch* here: feasibility is
+recomputed from the raw item intervals and the assignment alone, without
+trusting any state the simulator kept.  This is the "don't grade your own
+homework" layer — any algorithm bug that slipped past the online checks
+(e.g. an accounting error in bin close times) is caught by the audit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .bins import LOAD_EPS
+from .errors import PackingError
+from .item import Item
+from .profile import load_profile
+from .result import PackingResult
+
+__all__ = ["audit", "audit_cost", "check_feasible_bin"]
+
+
+def check_feasible_bin(
+    items: Iterable[Item], capacity: float = 1.0
+) -> None:
+    """Raise :class:`PackingError` if the items overload a single bin."""
+    prof = load_profile(items)
+    if prof.max() > capacity + LOAD_EPS:
+        raise PackingError(
+            f"bin overloaded: peak load {prof.max():.9f} > capacity {capacity}"
+        )
+
+
+def audit(result: PackingResult) -> None:
+    """Fully re-verify a :class:`PackingResult`.  Raises on any violation.
+
+    Checks, per bin:
+
+    1. momentary load never exceeds capacity (recomputed from item data);
+    2. the bin's busy time is one contiguous period exactly equal to
+       ``[opened_at, closed_at)`` — i.e. the bin was closed on empty and
+       never reused;
+    3. every item is assigned to exactly one bin and every assignment points
+       to a recorded bin;
+    4. the recorded cost equals both the sum of per-bin usages and the
+       integral of the open-bin-count profile.
+    """
+    bin_uids = {rec.uid for rec in result.bins}
+    if len(bin_uids) != len(result.bins):
+        raise PackingError("duplicate bin uids in result")
+    seen: set[int] = set()
+    for it in result.items:
+        if it.uid in seen:
+            raise PackingError(f"item {it.uid} appears twice")
+        seen.add(it.uid)
+        if it.uid not in result.assignment:
+            raise PackingError(f"item {it.uid} was never assigned")
+        if result.assignment[it.uid] not in bin_uids:
+            raise PackingError(
+                f"item {it.uid} assigned to unknown bin {result.assignment[it.uid]}"
+            )
+
+    for rec in result.bins:
+        realised = [
+            Item(a, d, it.size, uid=it.uid)
+            for it in result.items_of(rec.uid)
+            for (a, d) in [result.true_interval(it.uid)]
+        ]
+        if not realised:
+            raise PackingError(f"bin {rec.uid} recorded with no items")
+        check_feasible_bin(realised, result.capacity)
+        prof = load_profile(realised)
+        support = prof.support_measure()
+        first = min(it.arrival for it in realised)
+        last = max(it.departure for it in realised)  # type: ignore[arg-type]
+        if not math.isclose(support, last - first, rel_tol=0, abs_tol=1e-9):
+            raise PackingError(
+                f"bin {rec.uid} has a gap in its busy period "
+                f"(support {support:g} != {last - first:g}); bins must close on empty"
+            )
+        if not math.isclose(rec.opened_at, first, abs_tol=1e-9) or not math.isclose(
+            rec.closed_at, last, abs_tol=1e-9
+        ):
+            raise PackingError(
+                f"bin {rec.uid} records [{rec.opened_at}, {rec.closed_at}) but its "
+                f"items span [{first}, {last})"
+            )
+
+    audit_cost(result)
+
+
+def audit_cost(result: PackingResult) -> float:
+    """Check the two cost accountings agree; return the cost."""
+    per_bin = sum(rec.usage for rec in result.bins)
+    profile_integral = result.open_bins_profile().integral()
+    if not math.isclose(per_bin, profile_integral, rel_tol=1e-9, abs_tol=1e-9):
+        raise PackingError(
+            f"cost mismatch: Σ bin usage = {per_bin!r} but "
+            f"∫ ON_t dt = {profile_integral!r}"
+        )
+    return per_bin

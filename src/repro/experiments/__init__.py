@@ -1,0 +1,94 @@
+"""Experiment harness: one function per paper table/figure/lemma.
+
+Importing this package populates :data:`repro.experiments.EXPERIMENTS`
+(the registry keyed by DESIGN.md experiment ids).
+"""
+
+from . import (  # noqa: F401
+    ablations,
+    augmentation,
+    binary,
+    extensions,
+    figures_exp,
+    gaps,
+    growth,
+    lemmas,
+    lemmas5,
+    objectives,
+    randomized,
+    table1,
+)
+from .ablations import anyfit_ablation, rows_ablation, threshold_ablation
+from .augmentation import augmentation_experiment
+from .extensions import (
+    greedy_experiment,
+    open_aligned_experiment,
+    open_general_experiment,
+    shalom_experiment,
+)
+from .gaps import adaptivity_experiment, nr_gap_experiment
+from .growth import growth_experiment
+from .lemmas5 import lemma35_experiment, lemma55_experiment, lemma512_experiment
+from .objectives import objectives_experiment
+from .randomized import randomized_experiment
+from .binary import cor58_experiment, lemma59_experiment, prop53_experiment
+from .figures_exp import (
+    figure1_experiment,
+    figure2_experiment,
+    figure3_experiment,
+)
+from .lemmas import (
+    cor34_experiment,
+    dc_experiment,
+    lemma31_experiment,
+    lemma33_experiment,
+)
+from .report import generate_report, run_experiments
+from .runner import EXPERIMENTS, ExperimentResult, format_table, register
+from .sweep import ratio_sweep
+from .table1 import (
+    aligned_experiment,
+    general_lower_experiment,
+    general_upper_experiment,
+    nonclairvoyant_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "register",
+    "generate_report",
+    "run_experiments",
+    "ratio_sweep",
+    "general_upper_experiment",
+    "general_lower_experiment",
+    "aligned_experiment",
+    "nonclairvoyant_experiment",
+    "lemma31_experiment",
+    "lemma33_experiment",
+    "cor34_experiment",
+    "dc_experiment",
+    "cor58_experiment",
+    "lemma59_experiment",
+    "prop53_experiment",
+    "threshold_ablation",
+    "anyfit_ablation",
+    "rows_ablation",
+    "augmentation_experiment",
+    "nr_gap_experiment",
+    "adaptivity_experiment",
+    "growth_experiment",
+    "lemma35_experiment",
+    "lemma55_experiment",
+    "lemma512_experiment",
+    "objectives_experiment",
+    "randomized_experiment",
+    "greedy_experiment",
+    "shalom_experiment",
+    "open_aligned_experiment",
+    "open_general_experiment",
+    "figure1_experiment",
+    "figure2_experiment",
+    "figure3_experiment",
+]

@@ -1,0 +1,103 @@
+"""EXT.AUGMENT — resource augmentation for MinUsageTime DBP.
+
+Chan, Wong & Yung [3] analyse classical dynamic bin packing under
+*resource augmentation*: the online algorithm gets bins of capacity
+``1 + ε`` while OPT packs into unit bins.  The paper under reproduction
+doesn't pursue this for MinUsageTime — which makes it a natural
+"other families of inputs / models" extension (Conclusions) that our
+simulator supports with a single parameter.
+
+The experiment measures how much augmentation defuses the First-Fit trap:
+the trap relies on blocks filling pinned bins *exactly* to 1, so capacity
+``1 + ε ≥ 1 + pin`` lets new pins ride along in old bins and the Ω(μ)
+blow-up collapses to O(1).  On random inputs augmentation buys little
+(First-Fit is already near-optimal there).  HA's ratio barely moves —
+its guarantee never depended on exact fills.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence
+
+from ..algorithms.anyfit import FirstFit
+from ..algorithms.hybrid import HybridAlgorithm
+from ..core.simulation import simulate
+from ..core.validate import audit
+from ..offline.optimal import opt_reference
+from ..workloads.adversarial import ff_trap
+from ..workloads.random_general import uniform_random
+from .runner import ExperimentResult, register
+
+__all__ = ["augmentation_experiment"]
+
+
+@register("EXT.AUGMENT")
+def augmentation_experiment(
+    epsilons: Sequence[float] = (0.0, 0.05, 0.25, 1.0),
+    *,
+    mu: int = 256,
+    pairs: int = 100,
+    seeds: Sequence[int] = (0, 1),
+    n_items: int = 250,
+) -> ExperimentResult:
+    """FF and HA with capacity 1+ε vs unit-capacity OPT_R."""
+    headers = ["ε", "FF on ff-trap", "HA on ff-trap", "FF random", "HA random"]
+    rows: List[List[object]] = []
+    passed = True
+
+    trap = ff_trap(mu, pairs=pairs, eps=0.01)
+    trap_opt = opt_reference(trap, max_exact=10)  # OPT at capacity 1
+    rand_instances = [uniform_random(n_items, mu, seed=s) for s in seeds]
+    rand_opts = [opt_reference(inst, max_exact=16) for inst in rand_instances]
+
+    trap_ff_by_eps = {}
+    for eps in epsilons:
+        cap = 1.0 + eps
+        ff_trap_res = simulate(FirstFit(), trap, capacity=cap)
+        ha_trap_res = simulate(HybridAlgorithm(), trap, capacity=cap)
+        audit(ff_trap_res)
+        audit(ha_trap_res)
+        ff_trap_ratio = ff_trap_res.cost / trap_opt.lower
+        ha_trap_ratio = ha_trap_res.cost / trap_opt.lower
+        trap_ff_by_eps[eps] = ff_trap_ratio
+
+        ff_rand, ha_rand = [], []
+        for inst, opt in zip(rand_instances, rand_opts):
+            ff_rand.append(
+                simulate(FirstFit(), inst, capacity=cap).cost / opt.lower
+            )
+            ha_rand.append(
+                simulate(HybridAlgorithm(), inst, capacity=cap).cost / opt.lower
+            )
+        rows.append(
+            [eps, ff_trap_ratio, ha_trap_ratio,
+             statistics.mean(ff_rand), statistics.mean(ha_rand)]
+        )
+
+    # some ε > 0 must collapse the trap (augmentation helps) — but note the
+    # collapse is NOT monotone: ε = 1.0 makes pairs fill capacity-2 bins
+    # exactly again and partially re-arms the trap (the classical First-Fit
+    # capacity anomaly, also pinned by the simulator property tests)
+    eps_pos = [e for e in epsilons if e > 0]
+    if eps_pos:
+        best = min(trap_ff_by_eps[e] for e in eps_pos)
+        if best > 0.2 * trap_ff_by_eps[min(epsilons)]:
+            passed = False
+    notes = [
+        "denominators are the *unit-capacity* OPT_R lower bound — the "
+        "resource-augmentation convention of [3]",
+        "FF's Ω(μ) trap depends on exact fills: ε past the pin size lets FF "
+        "consolidate and the ratio collapses; HA never needed the slack",
+        "the collapse is non-monotone in ε — at ε = 1.0 two (pin, block) "
+        "pairs fill a capacity-2 bin exactly and the trap re-arms: capacity "
+        "is not a monotone resource for First-Fit",
+    ]
+    return ExperimentResult(
+        "EXT.AUGMENT",
+        "Extension — resource augmentation (capacity 1+ε) defuses the FF trap",
+        headers,
+        rows,
+        notes,
+        passed,
+    )

@@ -1,0 +1,83 @@
+"""Growth-curve charts: the Table 1 story as pictures (ASCII).
+
+``repro-dbp curves`` renders three charts:
+
+1. σ_μ ratios: CDFF (log log μ) vs static rows (log μ);
+2. trap ratios: FF on the ff-trap (linear) vs HA (bounded), CBD on the
+   cbd-trap (log) vs HA;
+3. the non-clairvoyant wall: FF vs the adaptive adversary (linear in μ).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..adversary.nonclairvoyant import NonClairvoyantAdversary
+from ..algorithms.anyfit import FirstFit
+from ..algorithms.cdff import CDFF, StaticRowsCDFF
+from ..algorithms.classify import ClassifyByDuration
+from ..algorithms.hybrid import HybridAlgorithm
+from ..core.simulation import simulate
+from ..offline.optimal import opt_reference
+from ..viz.plots import ascii_chart
+from ..workloads.adversarial import cbd_trap, ff_trap
+from ..workloads.aligned import binary_input
+
+__all__ = ["growth_charts"]
+
+
+def growth_charts(
+    mus: Sequence[int] = (4, 16, 64, 256, 1024),
+    *,
+    nc_mus: Sequence[int] = (4, 8, 16, 32),
+) -> str:
+    """All three charts as one text block."""
+    charts = []
+
+    cdff = [simulate(CDFF(), binary_input(m)).cost / m for m in mus]
+    static = [simulate(StaticRowsCDFF(), binary_input(m)).cost / m for m in mus]
+    charts.append(
+        ascii_chart(
+            list(map(float, mus)),
+            {"CDFF (~2·loglog μ)": cdff, "StaticRows (= log μ + 1)": static},
+            title="Aligned inputs: ratio to OPT_R on σ_μ  (Theorem 5.1 / ABL.ROWS)",
+        )
+    )
+
+    ff_ratios, ha_ff, cbd_ratios, ha_cbd = [], [], [], []
+    for m in mus:
+        trap = ff_trap(m, pairs=min(100, m))
+        opt = opt_reference(trap, max_exact=8)
+        ff_ratios.append(simulate(FirstFit(), trap).cost / opt.lower)
+        ha_ff.append(simulate(HybridAlgorithm(), trap).cost / opt.lower)
+        trap2 = cbd_trap(m)
+        opt2 = opt_reference(trap2, max_exact=8)
+        cbd_ratios.append(simulate(ClassifyByDuration(), trap2).cost / opt2.lower)
+        ha_cbd.append(simulate(HybridAlgorithm(), trap2).cost / opt2.lower)
+    charts.append(
+        ascii_chart(
+            list(map(float, mus)),
+            {
+                "FF on ff-trap (~min(μ,100)/2)": ff_ratios,
+                "CBD on cbd-trap (~log μ / 2)": cbd_ratios,
+                "HA on ff-trap": ha_ff,
+                "HA on cbd-trap": ha_cbd,
+            },
+            title="General inputs: the Techniques-section traps  (T1.GEN.UB)",
+        )
+    )
+
+    nc = []
+    for g in nc_mus:
+        adv = NonClairvoyantAdversary(g, float(g))
+        out = adv.run(FirstFit(clairvoyant=False))
+        opt = opt_reference(out.instance, max_exact=8)
+        nc.append(out.online_cost / opt.upper)
+    charts.append(
+        ascii_chart(
+            list(map(float, nc_mus)),
+            {"non-clairvoyant FF (~μ/2)": nc},
+            title="Non-clairvoyant wall: adaptive adversary  (T1.NC)",
+        )
+    )
+    return "\n".join(charts)

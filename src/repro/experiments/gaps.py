@@ -1,0 +1,159 @@
+"""EXT.NRGAP and EXT.ADAPT — two fidelity experiments on the model itself.
+
+- **EXT.NRGAP** — the repacking/non-repacking gap.  The paper works with
+  two optima: OPT_R (Section 3's comparator; its own upper bound allows
+  it) and OPT_NR (Section 4's, the stronger adversary baseline).
+  Theorem 4.2 bridges them: DC is non-repacking and ≤ 4·OPT_R, hence
+  ``OPT_NR ≤ 4·OPT_R`` always.  On small instances both optima are exactly
+  computable; this experiment measures the realised gap distribution —
+  every sample must respect the 4× bridge, and the worst observed gap
+  shows how loose it is in practice.
+- **EXT.ADAPT** — "HA does not need advance knowledge of μ, but rather
+  adapts as μ increases" (Section 3).  We feed HA a phased stream whose
+  maximum length doubles each phase and check, after every phase, that
+  the cumulative competitive ratio respects Theorem 3.2's bound *for the
+  μ revealed so far* — the quantitative content of the adaptivity remark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..algorithms.hybrid import HybridAlgorithm
+from ..analysis.theory import ha_upper_bound
+from ..core.instance import Instance
+from ..core.simulation import simulate
+from ..core.validate import audit
+from ..offline.optimal import opt_nonrepacking, opt_reference, opt_repacking
+from .runner import ExperimentResult, register
+
+__all__ = ["nr_gap_experiment", "adaptivity_experiment"]
+
+
+@register("EXT.NRGAP")
+def nr_gap_experiment(
+    *,
+    n_instances: int = 60,
+    n_items: int = 7,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Exact OPT_NR / OPT_R on random tiny instances."""
+    rng = np.random.default_rng(seed)
+    gaps = []
+    for _ in range(n_instances):
+        triples = []
+        for _ in range(n_items):
+            a = float(rng.uniform(0, 6))
+            triples.append(
+                (a, a + float(rng.uniform(0.5, 5)), float(rng.uniform(0.2, 1.0)))
+            )
+        inst = Instance.from_tuples(triples)
+        r = opt_repacking(inst)
+        if not r.exact or r.lower <= 0:
+            continue
+        nr = opt_nonrepacking(inst, max_items=n_items)
+        gaps.append(nr / r.lower)
+    gaps_arr = np.asarray(gaps)
+    passed = bool(
+        np.all(gaps_arr >= 1.0 - 1e-9) and np.all(gaps_arr <= 4.0 + 1e-9)
+    )
+    headers = ["samples", "mean gap", "p95 gap", "max gap", "bridge (Thm 4.2)"]
+    rows: List[List[object]] = [
+        [len(gaps), float(gaps_arr.mean()), float(np.quantile(gaps_arr, 0.95)),
+         float(gaps_arr.max()), 4.0]
+    ]
+    notes = [
+        "gap = exact OPT_NR / exact OPT_R; 1 ≤ gap ≤ 4 must hold (the DC "
+        "bridge); the measured worst case shows how loose 4× is at this "
+        "scale",
+    ]
+    return ExperimentResult(
+        "EXT.NRGAP",
+        "Extension — the exact repacking/non-repacking optimum gap",
+        headers,
+        rows,
+        notes,
+        passed,
+    )
+
+
+def _phased_stream(
+    phases: int, per_phase: int, seed: int
+) -> tuple[Instance, list[tuple[float, float]]]:
+    """Arrivals in phases; phase p uses lengths up to 2^p.
+
+    Returns the instance and, per phase, (phase end time, μ seen so far).
+    """
+    rng = np.random.default_rng(seed)
+    triples: list[tuple[float, float, float]] = []
+    markers: list[tuple[float, float]] = []
+    t0 = 0.0
+    for p in range(phases):
+        max_len = float(2**p)
+        span = 3.0 * max_len
+        # anchor the phase's μ
+        triples.append((t0, t0 + max_len, float(rng.uniform(0.2, 0.8))))
+        for _ in range(per_phase - 1):
+            a = t0 + float(rng.uniform(0, span))
+            length = float(np.exp(rng.uniform(0.0, math.log(max_len))) if max_len > 1 else 1.0)
+            triples.append((a, a + length, float(rng.uniform(0.05, 0.9))))
+        t0 += span
+        markers.append((t0 + max_len, 2.0**p))
+    triples.append((0.0, 1.0, 0.1))  # global min-length anchor
+    triples.sort(key=lambda x: x[0])
+    return Instance.from_tuples(triples), markers
+
+
+@register("EXT.ADAPT")
+def adaptivity_experiment(
+    *,
+    phases: int = 8,
+    per_phase: int = 40,
+    seed: int = 0,
+) -> ExperimentResult:
+    """HA's cumulative ratio respects the bound for the μ seen so far."""
+    inst, markers = _phased_stream(phases, per_phase, seed)
+    result = simulate(HybridAlgorithm(), inst)
+    audit(result)
+    profile = result.open_bins_profile()
+
+    headers = ["phase", "μ so far", "HA cost so far", "OPT_R≥ so far",
+               "ratio≤", "bound(μ so far)", "ok"]
+    rows: List[List[object]] = []
+    passed = True
+    for p, (t_end, mu_seen) in enumerate(markers):
+        cost_prefix = profile.restricted(
+            float(profile.breakpoints[0]), t_end
+        ).integral()
+        prefix_items = [it for it in inst if it.arrival < t_end]
+        clipped = Instance.from_tuples(
+            [
+                (it.arrival, min(it.departure, t_end), it.size)  # type: ignore[type-var]
+                for it in prefix_items
+                if it.arrival < t_end
+            ]
+        )
+        opt = opt_reference(clipped, max_exact=14)
+        ratio = cost_prefix / opt.lower if opt.lower > 0 else math.inf
+        bound = ha_upper_bound(mu_seen)
+        ok = ratio <= bound + 1e-9
+        passed = passed and ok
+        rows.append([p, mu_seen, cost_prefix, opt.lower, ratio, bound, ok])
+    notes = [
+        "phase p introduces lengths up to 2^p; HA is never told μ — its "
+        "classification adapts, and after every phase the prefix ratio sits "
+        "under Theorem 3.2's bound for the μ revealed so far",
+        "prefix costs clip both HA's profile and OPT's instance at the "
+        "phase end, so both sides measure the same window",
+    ]
+    return ExperimentResult(
+        "EXT.ADAPT",
+        "Extension — HA adapts as μ grows (no advance knowledge needed)",
+        headers,
+        rows,
+        notes,
+        passed,
+    )

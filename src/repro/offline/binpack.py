@@ -1,0 +1,122 @@
+"""Exact classical (static) bin packing — the inner oracle of OPT_R.
+
+Because repacking is free, the paper's repacking optimum factorises over
+time: ``OPT_R(σ) = ∫ BP(active items at t) dt`` where ``BP`` is the
+classical bin-packing optimum of the momentarily active size multiset (see
+DESIGN.md §1).  This module provides ``BP``:
+
+- :func:`ffd` — First-Fit-Decreasing, the upper-bound heuristic;
+- :func:`l2_lower_bound` — Martello–Toth's L2 lower bound;
+- :func:`min_bins` — exact branch-and-bound (FFD seed, L2 pruning,
+  dominance and symmetry breaking), practical to ~30 items;
+- :func:`min_bins_bounded` — exact when small, (lower, upper) sandwich
+  otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.bins import LOAD_EPS
+
+__all__ = ["ffd", "l2_lower_bound", "min_bins", "min_bins_bounded"]
+
+
+def ffd(sizes: Sequence[float], capacity: float = 1.0) -> int:
+    """Number of bins First-Fit-Decreasing uses (an upper bound on BP)."""
+    bins: list[float] = []
+    for s in sorted(sizes, reverse=True):
+        for k, load in enumerate(bins):
+            if load + s <= capacity + LOAD_EPS:
+                bins[k] = load + s
+                break
+        else:
+            bins.append(s)
+    return len(bins)
+
+
+def l2_lower_bound(sizes: Sequence[float], capacity: float = 1.0) -> int:
+    """Martello–Toth L2: a lower bound on the bin-packing optimum.
+
+    ``L2 = max_α |{s > c−α}| + max(0, ⌈(Σ_{s∈(α, c−α]} s − free capacity)/c⌉)``
+    maximised over thresholds ``α ∈ [0, c/2]`` drawn from the size set.
+    """
+    if not sizes:
+        return 0
+    c = capacity
+    xs = sorted(sizes)
+    best = max(1, math.ceil(sum(xs) / c - 1e-9))
+    # candidate thresholds: 0, every small size, and c/2 itself (the c/2
+    # threshold makes every pair of >c/2 items conflict, i.e. counts them)
+    alphas = {0.0, c / 2} | {s for s in xs if s <= c / 2 + LOAD_EPS}
+    for alpha in alphas:
+        big = [s for s in xs if s > c - alpha + LOAD_EPS]
+        mid = [s for s in xs if alpha - LOAD_EPS <= s <= c - alpha + LOAD_EPS]
+        # Note: 'mid' includes sizes exactly equal to the boundaries; the
+        # bound remains valid for any partition choice.
+        free = sum(max(0.0, c - s) for s in big)
+        extra = math.ceil((sum(mid) - free) / c - 1e-9)
+        best = max(best, len(big) + max(0, extra))
+    return best
+
+
+def min_bins(sizes: Sequence[float], capacity: float = 1.0) -> int:
+    """Exact minimum number of capacity-``capacity`` bins for ``sizes``."""
+    items = sorted((s for s in sizes), reverse=True)
+    if not items:
+        return 0
+    if any(s > capacity + LOAD_EPS for s in items):
+        raise ValueError("an item exceeds the bin capacity")
+    best = ffd(items, capacity)
+    lower = l2_lower_bound(items, capacity)
+    if best <= lower:
+        return best
+
+    n = len(items)
+    loads: list[float] = []
+    best_found = best
+
+    def dfs(idx: int) -> None:
+        nonlocal best_found
+        if idx == n:
+            best_found = min(best_found, len(loads))
+            return
+        if len(loads) >= best_found:
+            return
+        # L1-style pruning on the remaining volume
+        remaining = sum(items[idx:])
+        free = sum(capacity - l for l in loads)
+        need = len(loads) + max(0, math.ceil((remaining - free) / capacity - 1e-9))
+        if need >= best_found:
+            return
+        s = items[idx]
+        tried: set[float] = set()
+        for k, load in enumerate(loads):
+            if load + s <= capacity + LOAD_EPS:
+                key = round(load, 12)
+                if key in tried:  # bins with equal load are interchangeable
+                    continue
+                tried.add(key)
+                loads[k] = load + s
+                dfs(idx + 1)
+                loads[k] = load
+                if best_found <= lower:
+                    return
+        if len(loads) + 1 < best_found:
+            loads.append(s)
+            dfs(idx + 1)
+            loads.pop()
+
+    dfs(0)
+    return best_found
+
+
+def min_bins_bounded(
+    sizes: Sequence[float], capacity: float = 1.0, *, max_exact: int = 26
+) -> tuple[int, int]:
+    """``(lower, upper)`` on BP; equal when exact computation is affordable."""
+    if len(sizes) <= max_exact:
+        v = min_bins(sizes, capacity)
+        return v, v
+    return l2_lower_bound(sizes, capacity), ffd(sizes, capacity)

@@ -1,0 +1,90 @@
+"""Closed-form offline bounds on OPT (Section 2–3 of the paper).
+
+Lower bounds on ``OPT_R`` (hence also on ``OPT_NR``):
+
+- the *time–space* bound ``OPT_R ≥ d(σ)``,
+- the *span* bound ``OPT_R ≥ span(σ)``,
+- the ceil-load bound ``OPT_R ≥ ∫⌈S_t⌉ dt`` — which dominates both
+  (``⌈S⌉ ≥ S`` gives time–space; ``⌈S⌉ ≥ 1`` on the support gives span).
+
+Upper bounds on ``OPT_R`` (Lemma 3.1):
+
+- ``OPT_R ≤ ∫ 2⌈S_t⌉ dt``,
+- ``OPT_R ≤ 2·d(σ) + 2·span(σ)``.
+
+These are the quantities every experiment sandwiches OPT with when the
+exact oracle (:mod:`repro.offline.optimal`) is too expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..core.profile import load_profile
+
+__all__ = [
+    "demand_bound",
+    "span_bound",
+    "ceil_load_bound",
+    "lemma31_ceil_upper",
+    "lemma31_demand_span_upper",
+    "opt_sandwich",
+    "OptSandwich",
+]
+
+
+def demand_bound(instance: Instance) -> float:
+    """``d(σ)`` — the time–space lower bound on OPT_R."""
+    return instance.demand
+
+
+def span_bound(instance: Instance) -> float:
+    """``span(σ)`` — the span lower bound on OPT_R."""
+    return instance.span
+
+
+def ceil_load_bound(instance: Instance) -> float:
+    """``∫⌈S_t⌉ dt`` — the strongest of the paper's closed-form lower bounds."""
+    return load_profile(instance).ceil_integral()
+
+
+def lemma31_ceil_upper(instance: Instance) -> float:
+    """Lemma 3.1(1): ``OPT_R ≤ ∫ 2⌈S_t⌉ dt``."""
+    return 2.0 * ceil_load_bound(instance)
+
+
+def lemma31_demand_span_upper(instance: Instance) -> float:
+    """Lemma 3.1(2): ``OPT_R ≤ 2 d(σ) + 2 span(σ)``."""
+    return 2.0 * instance.demand + 2.0 * instance.span
+
+
+@dataclass(frozen=True, slots=True)
+class OptSandwich:
+    """A certified interval ``lower ≤ OPT_R ≤ upper``."""
+
+    lower: float
+    upper: float
+
+    @property
+    def exact(self) -> bool:
+        return abs(self.upper - self.lower) <= 1e-9 * max(1.0, self.upper)
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-9:
+            raise ValueError(
+                f"invalid sandwich: lower {self.lower} > upper {self.upper}"
+            )
+
+
+def opt_sandwich(instance: Instance) -> OptSandwich:
+    """The closed-form sandwich on OPT_R from the bounds above."""
+    lower = max(
+        demand_bound(instance), span_bound(instance), ceil_load_bound(instance)
+    )
+    upper = min(lemma31_ceil_upper(instance), lemma31_demand_span_upper(instance))
+    return OptSandwich(lower=lower, upper=max(lower, upper))

@@ -1,0 +1,104 @@
+"""Parallel execution helpers for experiment sweeps.
+
+Competitive-ratio sweeps are embarrassingly parallel across (μ, seed)
+cells; this module wraps :mod:`concurrent.futures` with the conventions
+the rest of the package needs:
+
+- ``workers=1`` (the default) runs serially in-process — determinism and
+  debuggability first, parallelism opt-in (per the optimisation guide:
+  measure before you parallelise);
+- tasks must be picklable: module-level functions and instances built
+  from frozen dataclasses qualify; lambdas do not — :func:`ratio_task`
+  is provided as a picklable work item for the common case.
+
+Example::
+
+    from repro.parallel import parallel_map, ratio_task
+    cells = [("FirstFit", inst1), ("HybridAlgorithm", inst2)]
+    ratios = parallel_map(ratio_task, cells, workers=4)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from .core.instance import Instance
+
+__all__ = ["parallel_map", "ratio_task", "ALGORITHM_REGISTRY"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    ``workers=1`` runs serially (no pool, exact tracebacks); ``workers>1``
+    uses a process pool, requiring ``fn`` and the items to be picklable.
+    Results are returned in input order either way.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be ≥ 1, got {workers}")
+    if workers == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _registry() -> dict:
+    from .algorithms import (
+        CDFF,
+        BestFit,
+        ClassifyByDuration,
+        FirstFit,
+        HybridAlgorithm,
+        LastFit,
+        LeastExpansion,
+        NextFit,
+        StaticRowsCDFF,
+        WorstFit,
+    )
+
+    return {
+        "FirstFit": FirstFit,
+        "BestFit": BestFit,
+        "WorstFit": WorstFit,
+        "LastFit": LastFit,
+        "NextFit": NextFit,
+        "ClassifyByDuration": ClassifyByDuration,
+        "HybridAlgorithm": HybridAlgorithm,
+        "CDFF": CDFF,
+        "StaticRowsCDFF": StaticRowsCDFF,
+        "LeastExpansion": LeastExpansion,
+    }
+
+
+#: names accepted by :func:`ratio_task`
+ALGORITHM_REGISTRY = tuple(sorted(_registry()))
+
+
+def ratio_task(cell: tuple[str, Instance]) -> float:
+    """Picklable work item: ``(algorithm name, instance) → certified ratio``.
+
+    The ratio is ``ALG / OPT_R-lower`` (a certified upper estimate), the
+    convention of the upper-bound experiments.
+    """
+    name, instance = cell
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {ALGORITHM_REGISTRY}"
+        )
+    from .core.simulation import simulate
+    from .offline.optimal import opt_reference
+
+    result = simulate(registry[name](), instance)
+    opt = opt_reference(instance, max_exact=16)
+    return result.cost / opt.lower if opt.lower > 0 else float("inf")

@@ -1,0 +1,15 @@
+"""Input reductions (Sections 3 and 5)."""
+
+from .alignment import (
+    align_departures,
+    assert_aligned,
+    is_aligned,
+    partition_aligned,
+)
+
+__all__ = [
+    "align_departures",
+    "assert_aligned",
+    "is_aligned",
+    "partition_aligned",
+]

@@ -1,0 +1,116 @@
+"""Input reductions from Sections 3 and 5 of the paper.
+
+Two transformations:
+
+- :func:`align_departures` — the σ → σ′ reduction: every item of type
+  ``T = (i, c)`` (length class ``i``, arrival window ``c``) has its
+  departure delayed to ``(c+1)·2^i``.  Afterwards, items of the same type
+  either depart together or do not intersect, each length grows by at most
+  4×, and Corollary 3.4 gives ``OPT_R(σ′) ≤ 16·OPT_R(σ)`` for inputs whose
+  active periods form one continuous interval.  The reduction is applied
+  *only in the analysis* — HA and CDFF never see σ′.
+- :func:`partition_aligned` — the online decomposition of an aligned input
+  into mutually disjoint segments σ_0, σ_1, … (Section 5 preamble): a
+  segment starting at ``t_0`` spans ``[t_0, t_0 + μ_seg]`` with
+  ``μ_seg = 2^{⌈log₂ (longest item arriving at t_0)⌉}``, and every item
+  arriving in the segment also departs inside it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..algorithms.base import item_type, type_departure_deadline
+from ..core.errors import AlignmentError
+from ..core.instance import Instance
+from ..core.item import Item
+
+__all__ = [
+    "align_departures",
+    "partition_aligned",
+    "is_aligned",
+    "assert_aligned",
+]
+
+
+def align_departures(instance: Instance, *, min_class: int = 1) -> Instance:
+    """The σ → σ′ reduction of Section 3.
+
+    Each item's departure moves to ``(c+1)·2^i`` where ``(i, c)`` is its
+    type.  Lengths increase by at most a factor of 4 (Observations 1–2).
+    ``min_class=0`` applies the aligned-input variant of Section 5.2, where
+    every arrival is already a multiple of ``2^i`` and the reduction simply
+    rounds the departure up to the next multiple of ``2^i``.
+    """
+
+    def convert(item: Item) -> Item:
+        T = item_type(item, min_class=min_class)
+        deadline = type_departure_deadline(T)
+        if deadline <= item.arrival:
+            raise AlignmentError(
+                f"reduction produced an empty interval for {item}"
+            )
+        return item.with_departure(max(deadline, item.departure))  # type: ignore[arg-type]
+
+    return instance.map(convert)
+
+
+def is_aligned(instance: Instance) -> bool:
+    """Whether the instance satisfies Definition 2.1 (aligned input)."""
+    try:
+        assert_aligned(instance)
+    except AlignmentError:
+        return False
+    return True
+
+
+def assert_aligned(instance: Instance) -> None:
+    """Raise :class:`AlignmentError` unless the input is aligned.
+
+    Definition 2.1: items of length in ``(2^{i-1}, 2^i]`` arrive only at
+    (non-negative integer) multiples of ``2^i``; lengths must exceed 1/2 so
+    class 0 is ``(1/2, 1]``.
+    """
+    for it in instance:
+        if it.length <= 0.5:
+            raise AlignmentError(
+                f"{it}: aligned items must have length > 1/2"
+            )
+        i = max(0, math.ceil(math.log2(it.length) - 1e-12))
+        width = 2**i
+        t = it.arrival
+        if t < 0 or abs(t - round(t)) > 1e-9 or round(t) % width != 0:
+            raise AlignmentError(
+                f"{it}: class-{i} items must arrive at multiples of {width}"
+            )
+
+
+def partition_aligned(instance: Instance) -> List[Instance]:
+    """Decompose an aligned input into disjoint segments σ_0, σ_1, …
+
+    The decomposition is online-computable: a segment opens at the first
+    remaining arrival ``t_0``, its horizon is ``t_0 + 2^{⌈log₂ μ'⌉}`` where
+    ``μ'`` is the longest length arriving exactly at ``t_0``, and it
+    contains every item arriving before the horizon.  The paper shows all
+    such items also *depart* by the horizon; this function verifies that
+    and raises :class:`AlignmentError` otherwise.
+    """
+    assert_aligned(instance)
+    segments: List[Instance] = []
+    remaining = list(instance)
+    while remaining:
+        t0 = remaining[0].arrival
+        at_t0 = [it for it in remaining if it.arrival == t0]
+        mu_prime = max(it.length for it in at_t0)
+        horizon = t0 + 2 ** math.ceil(math.log2(mu_prime) - 1e-12)
+        segment = [it for it in remaining if it.arrival < horizon]
+        for it in segment:
+            if it.departure > horizon + 1e-9:  # type: ignore[operator]
+                raise AlignmentError(
+                    f"{it} departs after the segment horizon {horizon} — "
+                    "the input is not aligned"
+                )
+        segments.append(Instance(segment, reassign_uids=False))
+        remaining = [it for it in remaining if it.arrival >= horizon]
+    return segments

@@ -1,0 +1,19 @@
+"""Randomised search for hard (oblivious) instances."""
+
+from .hardening import InstanceSearch, SearchOutcome, certified_ratio
+from .mutators import (
+    aligned_mutator,
+    aligned_sampler,
+    general_mutator,
+    general_sampler,
+)
+
+__all__ = [
+    "InstanceSearch",
+    "SearchOutcome",
+    "certified_ratio",
+    "aligned_sampler",
+    "aligned_mutator",
+    "general_sampler",
+    "general_mutator",
+]

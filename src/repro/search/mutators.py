@@ -1,0 +1,121 @@
+"""Samplers and mutators for the hard-instance search.
+
+Two families:
+
+- *aligned* (Definition 2.1 preserved by construction) — used by
+  OPEN.ALIGN to probe CDFF;
+- *general* (arbitrary arrivals, lengths in [1, μ]) — used by OPEN.GEN to
+  probe HA and the baselines.
+
+Mutators make one local move: resample a single item, duplicate an item
+(creating load pressure at its window), or drop one.  All moves keep an
+anchor item of length μ at time 0 so the instance's μ never shrinks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..workloads.aligned import aligned_random
+from ..workloads.random_general import uniform_random
+
+__all__ = [
+    "aligned_sampler",
+    "aligned_mutator",
+    "general_sampler",
+    "general_mutator",
+]
+
+
+def aligned_sampler(
+    mu: int, n_items: int, *, size_low: float = 0.3
+) -> Callable[[np.random.Generator], Instance]:
+    """A sampler of fresh random aligned instances (Definition 2.1)."""
+
+    def sample(rng: np.random.Generator) -> Instance:
+        return aligned_random(
+            mu, n_items, seed=int(rng.integers(2**31)), size_low=size_low
+        )
+
+    return sample
+
+
+def _aligned_item(mu: int, rng: np.random.Generator) -> tuple[float, float, float]:
+    n = int(math.log2(mu))
+    i = int(rng.integers(0, n + 1))
+    width = 2**i
+    c = int(rng.integers(0, mu // width))
+    length = (
+        float(rng.uniform(max(0.5001, width / 2), width))
+        if width > 1
+        else float(rng.uniform(0.5001, 1.0))
+    )
+    size = float(rng.uniform(0.3, 1.0))
+    return (float(c * width), c * width + length, size)
+
+
+def aligned_mutator(mu: int) -> Callable[[Instance, np.random.Generator], Instance]:
+    """A local-move mutator that preserves alignment and the μ anchor."""
+
+    def mutate(inst: Instance, rng: np.random.Generator) -> Instance:
+        items = [(it.arrival, it.departure, it.size) for it in inst]
+        move = rng.integers(3)
+        if move == 0 and len(items) > 2:  # drop
+            items.pop(int(rng.integers(len(items))))
+        elif move == 1:  # duplicate (same window, new size)
+            a, d, _ = items[int(rng.integers(len(items)))]
+            items.append((a, d, float(rng.uniform(0.3, 1.0))))
+        else:  # resample
+            items[int(rng.integers(len(items)))] = _aligned_item(mu, rng)
+        if not any(a == 0.0 and d >= mu for (a, d, s) in items):
+            items.append((0.0, float(mu), 0.2))
+        return Instance.from_tuples(items)
+
+    return mutate
+
+
+def general_sampler(
+    mu: float, n_items: int
+) -> Callable[[np.random.Generator], Instance]:
+    """A sampler of fresh random general instances with the given μ."""
+
+    def sample(rng: np.random.Generator) -> Instance:
+        return uniform_random(
+            n_items, mu, seed=int(rng.integers(2**31)), horizon=2.0 * mu
+        )
+
+    return sample
+
+
+def _general_item(mu: float, rng: np.random.Generator) -> tuple[float, float, float]:
+    a = float(rng.uniform(0, 2.0 * mu))
+    length = float(np.exp(rng.uniform(0.0, np.log(mu))))
+    size = float(rng.uniform(0.05, 1.0))
+    return (a, a + length, size)
+
+
+def general_mutator(mu: float) -> Callable[[Instance, np.random.Generator], Instance]:
+    """A local-move mutator for general instances, keeping both μ anchors."""
+
+    def mutate(inst: Instance, rng: np.random.Generator) -> Instance:
+        items = [(it.arrival, it.departure, it.size) for it in inst]
+        move = rng.integers(3)
+        if move == 0 and len(items) > 3:
+            items.pop(int(rng.integers(len(items))))
+        elif move == 1:
+            a, d, _ = items[int(rng.integers(len(items)))]
+            items.append((a, d, float(rng.uniform(0.05, 1.0))))
+        else:
+            items[int(rng.integers(len(items)))] = _general_item(mu, rng)
+        # keep the μ anchors
+        if not any(a == 0.0 and abs((d - a) - mu) < 1e-9 for (a, d, s) in items):
+            items.append((0.0, float(mu), 0.1))
+        if not any(abs((d - a) - 1.0) < 1e-9 for (a, d, s) in items):
+            items.append((0.0, 1.0, 0.1))
+        return Instance.from_tuples(items)
+
+    return mutate

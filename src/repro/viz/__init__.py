@@ -1,0 +1,16 @@
+"""ASCII visualisation and paper-figure regeneration."""
+
+from .ascii import render_instance, render_packing, render_rows, timeline_scale
+from .figures import figure1, figure2, figure3
+from .plots import ascii_chart
+
+__all__ = [
+    "render_instance",
+    "render_packing",
+    "render_rows",
+    "timeline_scale",
+    "figure1",
+    "figure2",
+    "figure3",
+    "ascii_chart",
+]

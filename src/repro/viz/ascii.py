@@ -1,0 +1,128 @@
+"""ASCII renderers for instances and packings (Figures 1–3 of the paper).
+
+Pure-text output (no plotting dependency in this offline environment):
+
+- :func:`render_instance` draws the items grouped by duration class, one
+  timeline per class — the layout of the paper's Figure 2 (σ_8);
+- :func:`render_packing` draws each bin's busy period with its momentary
+  occupancy count — the layout of Figure 3 (CDFF packing of σ_8);
+- :func:`render_rows` draws a live CDFF row structure with per-bin load
+  gauges — the layout of Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..core.bins import Bin
+from ..core.instance import Instance
+from ..core.item import Item
+from ..core.result import PackingResult
+
+__all__ = ["render_instance", "render_packing", "render_rows", "timeline_scale"]
+
+
+def timeline_scale(t_min: float, t_max: float, width: int):
+    """Map time to a character column in ``[0, width)``."""
+    span = max(t_max - t_min, 1e-12)
+
+    def to_col(t: float) -> int:
+        frac = (t - t_min) / span
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    return to_col
+
+
+def _class_of(item: Item) -> int:
+    return max(0, math.ceil(math.log2(item.length) - 1e-12))
+
+
+def render_instance(instance: Instance, *, width: int = 64) -> str:
+    """One timeline per duration class, items drawn as ``[====)`` bars."""
+    if len(instance) == 0:
+        return "(empty instance)\n"
+    t_min = min(it.arrival for it in instance)
+    t_max = max(it.departure for it in instance)  # type: ignore[type-var]
+    to_col = timeline_scale(t_min, float(t_max), width)
+    by_class: Dict[int, List[Item]] = {}
+    for it in instance:
+        by_class.setdefault(_class_of(it), []).append(it)
+
+    lines = [f"items over t ∈ [{t_min:g}, {t_max:g}]  (one timeline per class)"]
+    for cls in sorted(by_class, reverse=True):
+        # items of the same class may overlap; stack them on sub-lines
+        sublines: List[List[str]] = []
+        for it in sorted(by_class[cls], key=lambda x: x.arrival):
+            a, d = to_col(it.arrival), to_col(it.departure)  # type: ignore[arg-type]
+            placed = False
+            for sub in sublines:
+                if all(ch == " " for ch in sub[a : d + 1]):
+                    _draw(sub, a, d)
+                    placed = True
+                    break
+            if not placed:
+                sub = [" "] * width
+                _draw(sub, a, d)
+                sublines.append(sub)
+        label = f"class {cls} (len≤{2**cls:g})"
+        for k, sub in enumerate(sublines):
+            prefix = f"{label:>18} |" if k == 0 else f"{'':>18} |"
+            lines.append(prefix + "".join(sub) + "|")
+    return "\n".join(lines) + "\n"
+
+
+def _draw(sub: List[str], a: int, d: int) -> None:
+    if d <= a:
+        d = a + 1 if a + 1 < len(sub) else a
+    sub[a] = "["
+    for c in range(a + 1, d):
+        sub[c] = "="
+    if d < len(sub):
+        sub[d] = ")"
+
+
+def render_packing(result: PackingResult, *, width: int = 64) -> str:
+    """One line per bin: momentary item count (digits) over the bin's life."""
+    if not result.bins:
+        return "(no bins)\n"
+    t_min = min(rec.opened_at for rec in result.bins)
+    t_max = max(rec.closed_at for rec in result.bins)
+    to_col = timeline_scale(t_min, t_max, width)
+    lines = [
+        f"{result.algorithm}: {result.n_bins} bins, cost {result.cost:g}, "
+        f"t ∈ [{t_min:g}, {t_max:g}]  (digit = items in bin)"
+    ]
+    for rec in sorted(result.bins, key=lambda r: (r.opened_at, r.uid)):
+        cells = [0] * width
+        for it in result.items_of(rec.uid):
+            a, d = result.true_interval(it.uid)
+            ca, cd = to_col(a), to_col(d)
+            for c in range(ca, max(cd, ca + 1)):
+                cells[c] += 1
+        row = "".join(
+            " " if n == 0 else (str(n) if n < 10 else "+") for n in cells
+        )
+        tag = f" tag={rec.tag!r}" if rec.tag is not None else ""
+        lines.append(f"bin {rec.uid:>3} |{row}|{tag}")
+    return "\n".join(lines) + "\n"
+
+
+def render_rows(
+    rows: Dict[int, Sequence[Bin]], *, gauge: int = 10, capacity: float = 1.0
+) -> str:
+    """CDFF's rows of bins with load gauges — the paper's Figure 1 layout.
+
+    Each bin prints as ``[####......]`` with fill proportional to load.
+    """
+    if not rows:
+        return "(no open rows)\n"
+    lines = ["CDFF rows (each box is one bin; fill = load)"]
+    for r in sorted(rows):
+        bins = rows[r]
+        boxes = []
+        for b in bins:
+            fill = int(round(gauge * min(1.0, b.load / capacity)))
+            boxes.append("[" + "#" * fill + "." * (gauge - fill) + "]")
+        lines.append(f"row {r:>2}: " + " ".join(boxes) if boxes else f"row {r:>2}: (empty)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""ASCII line charts for ratio-vs-μ curves.
+
+No plotting library is available offline, so growth curves are rendered
+as character charts: one column per μ value, series plotted with distinct
+markers, a labelled y-axis, and the μ values along the x-axis.  Used by
+the CLI's ``curves`` command and embeddable in the Markdown report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    x_label: str = "μ",
+    y_label: str = "ratio",
+    title: str = "",
+) -> str:
+    """Render ``series`` (name → y values over ``x_values``) as text.
+
+    X positions are spaced by index (μ sweeps are geometric, so index
+    spacing *is* the log-μ axis).
+    """
+    if not series:
+        return "(no series)\n"
+    n = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {n} x-values"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    y_min = min(all_y)
+    y_max = max(all_y)
+    if math.isclose(y_min, y_max):
+        y_min, y_max = y_min - 0.5, y_max + 0.5
+    pad = 0.05 * (y_max - y_min)
+    y_min, y_max = y_min - pad, y_max + pad
+
+    cols = max(n, min(width, 2 * width // max(1, n) * n))
+    step = max(1, (cols - 1) // max(1, n - 1)) if n > 1 else 1
+    used_width = step * (n - 1) + 1 if n > 1 else 1
+    grid = [[" "] * used_width for _ in range(height)]
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return (height - 1) - min(height - 1, max(0, round(frac * (height - 1))))
+
+    for k, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        for i, y in enumerate(ys):
+            grid[to_row(y)][i * step] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = 8
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max - pad:>{label_w}.2f} |"
+        elif r == height - 1:
+            label = f"{y_min + pad:>{label_w}.2f} |"
+        else:
+            label = " " * label_w + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * used_width)
+    xticks = [" "] * (used_width + 8)  # room for the last tick's digits
+    for i, x in enumerate(x_values):
+        tick = f"{x:g}"
+        pos = i * step
+        for j, ch in enumerate(tick):
+            if pos + j < len(xticks):
+                xticks[pos + j] = ch
+    lines.append(" " * (label_w + 2) + "".join(xticks) + f"   ({x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} {name}"
+        for k, name in enumerate(series)
+    )
+    lines.append(f"{y_label}: {legend}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,70 @@
+"""Instance serialisation: CSV save/load and trace replay.
+
+A downstream user's traces arrive as files; this module round-trips
+instances through a simple CSV format::
+
+    arrival,departure,size
+    0.0,4.0,0.5
+    ...
+
+Rows are re-sorted by arrival on load (stable, preserving file order for
+ties — the simultaneous-arrival order is part of the input's semantics).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Union
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+
+__all__ = ["save_csv", "load_csv", "dumps_csv", "loads_csv"]
+
+_HEADER = ["arrival", "departure", "size"]
+
+
+def dumps_csv(instance: Instance) -> str:
+    """The instance as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_HEADER)
+    for it in instance:
+        writer.writerow([repr(it.arrival), repr(it.departure), repr(it.size)])
+    return buf.getvalue()
+
+
+def loads_csv(text: str) -> Instance:
+    """Parse CSV text into an :class:`Instance`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        return Instance([])
+    header = [h.strip().lower() for h in rows[0]]
+    if header != _HEADER:
+        raise InvalidInstanceError(
+            f"expected header {_HEADER!r}, got {rows[0]!r}"
+        )
+    triples = []
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != 3:
+            raise InvalidInstanceError(
+                f"line {lineno}: expected 3 columns, got {len(row)}"
+            )
+        try:
+            triples.append((float(row[0]), float(row[1]), float(row[2])))
+        except ValueError as exc:
+            raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
+    return Instance.from_tuples(triples)
+
+
+def save_csv(instance: Instance, path: Union[str, pathlib.Path]) -> None:
+    """Write the instance to ``path`` as CSV."""
+    pathlib.Path(path).write_text(dumps_csv(instance))
+
+
+def load_csv(path: Union[str, pathlib.Path]) -> Instance:
+    """Read an instance from a CSV file."""
+    return loads_csv(pathlib.Path(path).read_text())

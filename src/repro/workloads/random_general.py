@@ -1,0 +1,87 @@
+"""General (unaligned) random workloads for the clairvoyant experiments.
+
+All generators return instances normalised to minimum length 1 (the
+Section 3 convention).  Lengths are drawn log-uniformly over ``[1, μ]`` so
+every duration class ``i ∈ {1..log μ}`` is populated — the regime in which
+the classify-by-duration baselines pay their ``log μ`` factor and HA's
+threshold matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import Instance
+
+__all__ = ["uniform_random", "poisson_random", "staircase"]
+
+
+def uniform_random(
+    n_items: int,
+    mu: float,
+    *,
+    seed: int = 0,
+    horizon: Optional[float] = None,
+    size_low: float = 0.02,
+    size_high: float = 1.0,
+) -> Instance:
+    """Arrivals uniform on ``[0, horizon]``, lengths log-uniform on ``[1, μ]``.
+
+    Two anchor items (lengths exactly 1 and μ) pin the instance's μ to the
+    requested value.
+    """
+    if mu < 1:
+        raise ValueError(f"μ must be ≥ 1, got {mu}")
+    if n_items < 2:
+        raise ValueError("need at least two items (the anchors)")
+    rng = np.random.default_rng(seed)
+    horizon = horizon if horizon is not None else 4.0 * mu
+    arrivals = rng.uniform(0.0, horizon, size=n_items - 2)
+    lengths = np.exp(rng.uniform(0.0, np.log(max(mu, 1.0 + 1e-12)), size=n_items - 2))
+    sizes = rng.uniform(size_low, size_high, size=n_items)
+    triples = [(0.0, mu, float(sizes[0])), (0.0, 1.0, float(sizes[1]))]
+    triples += [
+        (float(a), float(a + l), float(s))
+        for a, l, s in zip(arrivals, lengths, sizes[2:])
+    ]
+    triples.sort(key=lambda tpl: tpl[0])
+    return Instance.from_tuples(triples)
+
+
+def poisson_random(
+    rate: float,
+    mu: float,
+    horizon: float,
+    *,
+    seed: int = 0,
+    size_low: float = 0.02,
+    size_high: float = 1.0,
+) -> Instance:
+    """Poisson arrivals of intensity ``rate``; lengths log-uniform on [1, μ]."""
+    if rate <= 0 or horizon <= 0:
+        raise ValueError("rate and horizon must be positive")
+    rng = np.random.default_rng(seed)
+    n = int(rng.poisson(rate * horizon))
+    arrivals = np.sort(rng.uniform(0.0, horizon, size=n))
+    lengths = np.exp(rng.uniform(0.0, np.log(max(mu, 1.0 + 1e-12)), size=n))
+    sizes = rng.uniform(size_low, size_high, size=n)
+    triples = [(0.0, mu, float(rng.uniform(size_low, size_high)))]
+    triples += [
+        (float(a), float(a + l), float(s))
+        for a, l, s in zip(arrivals, lengths, sizes)
+    ]
+    triples.sort(key=lambda tpl: tpl[0])
+    return Instance.from_tuples(triples)
+
+
+def staircase(mu: float, *, levels: Optional[int] = None, size: float = 0.3) -> Instance:
+    """A deterministic nested-duration instance: at time 0 release one item
+    of each length ``1, 2, 4, …, μ``.  This is one batch of the adversary's
+    σ*₀ sequence and a useful deterministic smoke workload."""
+    import math
+
+    n = levels if levels is not None else int(math.log2(mu)) + 1
+    triples = [(0.0, float(2**i), size) for i in range(n)]
+    return Instance.from_tuples(triples)

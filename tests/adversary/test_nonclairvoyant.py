@@ -1,0 +1,64 @@
+"""Unit tests for the non-clairvoyant Ω(μ) adversary."""
+
+import math
+
+import pytest
+
+from repro.adversary.nonclairvoyant import NonClairvoyantAdversary
+from repro.algorithms.anyfit import BestFit, FirstFit
+from repro.core.errors import SimulationError
+from repro.core.validate import audit
+from repro.offline.optimal import opt_reference
+
+
+class TestConstruction:
+    def test_invalid_g(self):
+        with pytest.raises(ValueError):
+            NonClairvoyantAdversary(0, 4.0)
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            NonClairvoyantAdversary(4, 1.0)
+
+    def test_rejects_clairvoyant_algorithm(self):
+        adv = NonClairvoyantAdversary(4, 4.0)
+        with pytest.raises(SimulationError):
+            adv.run(FirstFit())  # clairvoyant=True
+
+
+class TestForcing:
+    def test_survivor_per_bin(self):
+        g = 4
+        adv = NonClairvoyantAdversary(g, float(g))
+        out = adv.run(FirstFit(clairvoyant=False))
+        audit(out.result)
+        # g² items, g survivors (FF packs g per bin → g bins)
+        assert len(out.instance) == g * g
+        long_items = [it for it in out.instance if it.length > 1.5]
+        assert len(long_items) == g
+
+    def test_online_cost_scales_with_g_mu(self):
+        g = 8
+        adv = NonClairvoyantAdversary(g, float(g))
+        out = adv.run(FirstFit(clairvoyant=False))
+        assert out.online_cost >= g * g - 1e-9  # g bins × μ=g
+
+    @pytest.mark.parametrize("g", [4, 8, 16])
+    def test_ratio_grows_linearly(self, g):
+        adv = NonClairvoyantAdversary(g, float(g))
+        out = adv.run(FirstFit(clairvoyant=False))
+        opt = opt_reference(out.instance, max_exact=12)
+        ratio = out.online_cost / opt.upper
+        assert ratio >= g / 2 - 1e-6  # Θ(μ) with constant ~1/2
+
+    def test_works_against_best_fit(self):
+        adv = NonClairvoyantAdversary(8, 8.0)
+        out = adv.run(BestFit(clairvoyant=False))
+        audit(out.result)
+        opt = opt_reference(out.instance, max_exact=12)
+        assert out.online_cost / opt.upper >= 3.9
+
+    def test_mu_of_realized_instance(self):
+        adv = NonClairvoyantAdversary(4, 16.0)
+        out = adv.run(FirstFit(clairvoyant=False))
+        assert math.isclose(out.instance.mu, 16.0)

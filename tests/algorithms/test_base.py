@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.algorithms.base` — the type system of Sec. 3."""
+
+import math
+
+import pytest
+
+from repro.algorithms.base import (
+    duration_class,
+    first_fit_choice,
+    item_type,
+    type_departure_deadline,
+)
+from repro.core.bins import Bin
+from repro.core.errors import InvalidItemError
+from repro.core.item import Item
+
+
+class TestDurationClass:
+    def test_length_one_folds_into_class_one(self):
+        assert duration_class(1.0) == 1
+
+    def test_open_closed_boundaries(self):
+        # (2^{i-1}, 2^i]: length exactly 2^i belongs to class i
+        assert duration_class(2.0) == 1
+        assert duration_class(2.0001) == 2
+        assert duration_class(4.0) == 2
+
+    def test_large(self):
+        assert duration_class(1024.0) == 10
+        assert duration_class(1025.0) == 11
+
+    def test_min_class_zero(self):
+        assert duration_class(1.0, min_class=0) == 0
+        assert duration_class(0.75, min_class=0) == 0
+        assert duration_class(2.0, min_class=0) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidItemError):
+            duration_class(0.0)
+        with pytest.raises(InvalidItemError):
+            duration_class(math.inf)
+
+    def test_float_noise_near_power_of_two(self):
+        # 8.0 computed as 2**3 with float noise must stay class 3
+        assert duration_class(8.0 * (1 + 1e-14)) == 3
+
+
+class TestItemType:
+    def test_arrival_zero(self):
+        assert item_type(Item(0.0, 4.0, 0.5)) == (2, 0)
+
+    def test_arrival_in_first_window(self):
+        # window ((c-1)·2^i, c·2^i]: arrival 3 with i=2 → c=1
+        assert item_type(Item(3.0, 6.0, 0.5)) == (2, 1)
+
+    def test_arrival_at_window_boundary(self):
+        # arrival exactly 4 with i=2 → c=1 (window (0,4])
+        assert item_type(Item(4.0, 8.0, 0.5)) == (2, 1)
+
+    def test_arrival_just_after_boundary(self):
+        assert item_type(Item(4.0001, 8.0, 0.5)) == (2, 2)
+
+    def test_same_moment_two_types_max(self):
+        # at a fixed time, for a fixed i only two windows can hold live items
+        i = 3
+        width = 2**i
+        t = 10.0
+        cs = set()
+        for arr in [t - width + 0.01, t - 1.0, t]:
+            if arr >= 0:
+                cs.add(item_type(Item(arr, arr + width, 0.1))[1])
+        assert len(cs) <= 2
+
+
+class TestDeadline:
+    def test_deadline(self):
+        assert type_departure_deadline((2, 0)) == 4.0
+        assert type_departure_deadline((2, 1)) == 8.0
+        assert type_departure_deadline((3, 2)) == 24.0
+
+    def test_deadline_covers_departure(self):
+        # any item's reduced departure is ≥ its true departure
+        for arr, dep in [(0.0, 3.5), (5.0, 9.0), (7.9, 8.0), (16.0, 31.0)]:
+            it = Item(arr, dep, 0.5)
+            T = item_type(it)
+            assert type_departure_deadline(T) >= dep - 1e-9
+
+    def test_deadline_at_most_4x_length(self):
+        for arr, dep in [(0.0, 1.0), (3.0, 4.5), (10.0, 11.0), (2.5, 18.0)]:
+            it = Item(arr, dep, 0.5)
+            T = item_type(it)
+            new_len = type_departure_deadline(T) - arr
+            assert new_len <= 4.0 * it.length + 1e-9
+
+
+class TestFirstFitChoice:
+    def test_picks_earliest_fitting(self):
+        b1 = Bin(0, 1.0, 0.0)
+        b2 = Bin(1, 1.0, 0.0)
+        b1._add(Item(0, 1, 0.9, uid=0))
+        item = Item(0, 1, 0.5, uid=1)
+        assert first_fit_choice([b1, b2], item) is b2
+
+    def test_none_when_nothing_fits(self):
+        b1 = Bin(0, 1.0, 0.0)
+        b1._add(Item(0, 1, 0.9, uid=0))
+        assert first_fit_choice([b1], Item(0, 1, 0.5, uid=1)) is None
+
+    def test_empty_sequence(self):
+        assert first_fit_choice([], Item(0, 1, 0.5)) is None

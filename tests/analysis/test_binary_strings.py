@@ -1,0 +1,136 @@
+"""Unit tests for the binary-string machinery (Section 5.1)."""
+
+import math
+import re
+
+import numpy as np
+import pytest
+
+from repro.analysis.binary_strings import (
+    binary,
+    expected_max_zero_run,
+    lemma59_bound,
+    lsb_zero_run,
+    max_zero_run,
+    max_zero_run_all,
+    sample_max_zero_run,
+    sum_max_zero_run,
+)
+
+
+def reference_max0(bits: str) -> int:
+    runs = re.findall("0+", bits)
+    return max((len(r) for r in runs), default=0)
+
+
+class TestBinary:
+    def test_basic(self):
+        assert binary(5, 4) == "0101"
+        assert binary(0, 3) == "000"
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            binary(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            binary(-1, 3)
+
+
+class TestMaxZeroRun:
+    def test_all_zeros(self):
+        assert max_zero_run("0000") == 4
+
+    def test_all_ones(self):
+        assert max_zero_run("1111") == 0
+
+    def test_mixed(self):
+        assert max_zero_run("1001000") == 3
+
+    def test_integer_form(self):
+        assert max_zero_run(4, 3) == 2  # "100"
+
+    def test_integer_requires_width(self):
+        with pytest.raises(ValueError):
+            max_zero_run(4)
+
+    def test_invalid_characters(self):
+        with pytest.raises(ValueError):
+            max_zero_run("10a1")
+
+    def test_matches_regex_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            bits = "".join(rng.choice(["0", "1"], size=12))
+            assert max_zero_run(bits) == reference_max0(bits)
+
+
+class TestLsbZeroRun:
+    def test_values(self):
+        assert lsb_zero_run(1) == 0
+        assert lsb_zero_run(2) == 1
+        assert lsb_zero_run(8) == 3
+        assert lsb_zero_run(12) == 2
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lsb_zero_run(0)
+
+    def test_observation3(self):
+        """On σ_μ, 1 + lsb_zero_run(t) items arrive at time t > 0."""
+        from repro.workloads.aligned import binary_input
+
+        mu = 32
+        inst = binary_input(mu)
+        arrivals: dict = {}
+        for it in inst:
+            arrivals[it.arrival] = arrivals.get(it.arrival, 0) + 1
+        for t in range(1, mu):
+            assert arrivals.get(float(t), 0) == 1 + lsb_zero_run(t)
+
+
+class TestEnumeration:
+    def test_all_strings_small(self):
+        vals = max_zero_run_all(3)
+        expected = [reference_max0(binary(t, 3)) for t in range(8)]
+        assert list(vals) == expected
+
+    def test_expected_matches_mean(self):
+        for n in (2, 5, 9):
+            assert math.isclose(
+                expected_max_zero_run(n), float(max_zero_run_all(n).mean())
+            )
+
+    def test_expected_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            expected_max_zero_run(40)
+
+    def test_sum_identity(self):
+        for mu in (2, 8, 64):
+            n = int(math.log2(mu))
+            brute = sum(reference_max0(binary(t, n)) for t in range(mu))
+            assert sum_max_zero_run(mu) == brute
+
+    def test_sum_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            sum_max_zero_run(10)
+
+    def test_corollary_510(self):
+        """Σ_t max_0(binary(t)) ≤ 2 μ log log μ for μ ≥ 4."""
+        for mu in (16, 256, 4096, 2**16):
+            n = int(math.log2(mu))
+            assert sum_max_zero_run(mu) <= 2 * mu * math.log2(n)
+
+
+class TestSamplingAndBound:
+    def test_sampling_close_to_exact(self):
+        n = 12
+        samples = sample_max_zero_run(n, 20000, seed=1)
+        assert abs(samples.mean() - expected_max_zero_run(n)) < 0.1
+
+    def test_lemma59(self):
+        for n in range(2, 22):
+            assert expected_max_zero_run(min(n, 20)) <= lemma59_bound(min(n, 20))
+
+    def test_lemma59_degenerate(self):
+        assert lemma59_bound(1) == 1.0

@@ -1,0 +1,53 @@
+"""Unit tests for the closed-form bound functions."""
+
+import math
+
+from repro.analysis import theory
+
+
+class TestGuards:
+    def test_log2_safe_floors_at_one(self):
+        assert theory.log2_safe(1.0) == 1.0
+        assert theory.log2_safe(0.5) == 1.0
+        assert theory.log2_safe(8.0) == 3.0
+
+    def test_sqrt_log(self):
+        assert math.isclose(theory.sqrt_log_mu(16.0), 2.0)
+
+    def test_loglog_guarded(self):
+        assert theory.loglog_mu(2.0) == 1.0
+        assert math.isclose(theory.loglog_mu(2.0**16), 4.0)
+
+
+class TestBounds:
+    def test_ha_gn_bound(self):
+        assert math.isclose(theory.ha_gn_bound(16.0), 2 + 4 * 2.0)
+
+    def test_ha_upper_bound_structure(self):
+        assert math.isclose(theory.ha_upper_bound(16.0), 16 * (2 + 8 * 2.0))
+
+    def test_cdff_binary(self):
+        assert math.isclose(theory.cdff_binary_upper_bound(16.0), 2 * 2 + 1)
+
+    def test_cdff_aligned(self):
+        assert math.isclose(theory.cdff_aligned_upper_bound(16.0), 8 + 16 * 2)
+
+    def test_rentang(self):
+        assert math.isclose(theory.rentang_upper_bound(16.0, 2), 4 + 2 + 3)
+
+    def test_ff_nonclairvoyant(self):
+        assert theory.ff_nonclairvoyant_upper_bound(10.0) == 14.0
+
+    def test_lower_bound(self):
+        assert math.isclose(theory.lower_bound_sqrt_log(16.0), 2.0 / 8)
+
+    def test_monotonicity(self):
+        mus = [2.0**k for k in range(1, 20)]
+        for f in (
+            theory.sqrt_log_mu,
+            theory.loglog_mu,
+            theory.ha_upper_bound,
+            theory.cdff_aligned_upper_bound,
+        ):
+            vals = [f(m) for m in mus]
+            assert vals == sorted(vals)

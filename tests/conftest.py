@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CDFF,
+    BestFit,
+    ClassifyByDuration,
+    FirstFit,
+    HybridAlgorithm,
+    Instance,
+    LastFit,
+    NextFit,
+    RenTang,
+    StaticRowsCDFF,
+    WorstFit,
+)
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Three overlapping items, hand-checkable."""
+    return Instance.from_tuples(
+        [
+            (0.0, 4.0, 0.5),
+            (0.0, 1.0, 0.5),
+            (2.0, 6.0, 0.3),
+        ]
+    )
+
+
+@pytest.fixture
+def disjoint_instance() -> Instance:
+    """Items that never overlap — every algorithm should use 1 bin at a time."""
+    return Instance.from_tuples(
+        [
+            (0.0, 1.0, 0.9),
+            (1.0, 2.0, 0.9),
+            (2.0, 3.0, 0.9),
+        ]
+    )
+
+
+@pytest.fixture
+def full_bin_instance() -> Instance:
+    """Four items of size 0.5 alive together — exactly two bins needed."""
+    return Instance.from_tuples([(0.0, 2.0, 0.5)] * 4)
+
+
+def all_algorithm_factories():
+    """Every general-input algorithm in the package (CDFF excluded: it
+    requires aligned inputs)."""
+    return [
+        ("FirstFit", FirstFit),
+        ("BestFit", BestFit),
+        ("WorstFit", WorstFit),
+        ("LastFit", LastFit),
+        ("NextFit", NextFit),
+        ("CBD", ClassifyByDuration),
+        ("RenTang64", lambda: RenTang(64.0)),
+        ("HA", HybridAlgorithm),
+    ]
+
+
+def aligned_algorithm_factories():
+    return [
+        ("CDFF", CDFF),
+        ("StaticRowsCDFF", StaticRowsCDFF),
+        ("FirstFit", FirstFit),
+        ("HA", HybridAlgorithm),
+    ]

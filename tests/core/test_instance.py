@@ -1,0 +1,137 @@
+"""Unit tests for :mod:`repro.core.instance`."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Instance
+from repro.core.item import Item
+
+
+class TestConstruction:
+    def test_from_tuples_sorts_by_arrival(self):
+        inst = Instance.from_tuples([(5, 6, 0.5), (0, 1, 0.5)])
+        assert [it.arrival for it in inst] == [0, 5]
+
+    def test_from_tuples_stable_on_ties(self):
+        inst = Instance.from_tuples([(0, 1, 0.1), (0, 2, 0.2), (0, 3, 0.3)])
+        assert [it.size for it in inst] == [0.1, 0.2, 0.3]
+
+    def test_uids_assigned_in_order(self):
+        inst = Instance.from_tuples([(0, 1, 0.5), (1, 2, 0.5)])
+        assert [it.uid for it in inst] == [0, 1]
+
+    def test_unsorted_items_rejected(self):
+        items = [Item(5, 6, 0.5, uid=0), Item(0, 1, 0.5, uid=1)]
+        with pytest.raises(InvalidInstanceError):
+            Instance(items, reassign_uids=False)
+
+    def test_duplicate_uids_rejected(self):
+        items = [Item(0, 1, 0.5, uid=0), Item(1, 2, 0.5, uid=0)]
+        with pytest.raises(InvalidInstanceError):
+            Instance(items, reassign_uids=False)
+
+    def test_unknown_departure_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Item(0, None, 0.5)])
+
+    def test_empty_instance(self):
+        inst = Instance([])
+        assert len(inst) == 0
+        assert inst.span == 0.0
+        assert inst.demand == 0.0
+
+    def test_sequence_protocol(self, tiny_instance):
+        assert len(tiny_instance) == 3
+        assert tiny_instance[0].arrival == 0.0
+        assert isinstance(tiny_instance[0:2], Instance)
+        assert len(tiny_instance[0:2]) == 2
+
+    def test_equality_and_hash(self):
+        a = Instance.from_tuples([(0, 1, 0.5)])
+        b = Instance.from_tuples([(0, 1, 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self, tiny_instance):
+        assert "Instance(" in repr(tiny_instance)
+
+
+class TestStats:
+    def test_mu(self):
+        inst = Instance.from_tuples([(0, 1, 0.5), (0, 8, 0.5)])
+        assert inst.mu == 8.0
+
+    def test_mu_single_item(self):
+        assert Instance.from_tuples([(0, 3, 0.5)]).mu == 1.0
+
+    def test_demand(self, tiny_instance):
+        # 4*0.5 + 1*0.5 + 4*0.3
+        assert math.isclose(tiny_instance.demand, 2.0 + 0.5 + 1.2)
+
+    def test_span_contiguous(self, tiny_instance):
+        assert tiny_instance.span == 6.0
+
+    def test_span_with_gap(self):
+        inst = Instance.from_tuples([(0, 1, 0.5), (5, 7, 0.5)])
+        assert inst.span == 3.0
+
+    def test_span_departure_meets_arrival(self):
+        # half-open: [0,2) then [2,4) → contiguous span 4
+        inst = Instance.from_tuples([(0, 2, 0.5), (2, 4, 0.5)])
+        assert inst.span == 4.0
+
+    def test_max_load(self):
+        inst = Instance.from_tuples([(0, 2, 0.5), (1, 3, 0.4), (2, 4, 0.3)])
+        assert math.isclose(inst.stats.max_load, 0.9)
+
+    def test_max_load_departure_before_arrival(self):
+        # at t=1 one departs (0.6) as another arrives (0.5): peak is 0.6
+        inst = Instance.from_tuples([(0, 1, 0.6), (1, 2, 0.5)])
+        assert math.isclose(inst.stats.max_load, 0.6)
+
+    def test_load_at(self, tiny_instance):
+        assert math.isclose(tiny_instance.load_at(0.5), 1.0)
+        assert math.isclose(tiny_instance.load_at(3.0), 0.8)
+        assert tiny_instance.load_at(10.0) == 0.0
+
+    def test_active_at_half_open(self):
+        inst = Instance.from_tuples([(0, 2, 0.5)])
+        assert inst.active_at(0.0) and not inst.active_at(2.0)
+
+    def test_total_size(self, tiny_instance):
+        assert math.isclose(tiny_instance.stats.total_size, 1.3)
+
+
+class TestTransforms:
+    def test_shifted(self, tiny_instance):
+        shifted = tiny_instance.shifted(10.0)
+        assert shifted[0].arrival == 10.0
+        assert shifted.span == tiny_instance.span
+
+    def test_scaled_preserves_mu(self, tiny_instance):
+        assert math.isclose(tiny_instance.scaled(3.0).mu, tiny_instance.mu)
+
+    def test_normalized_min_length_one(self):
+        inst = Instance.from_tuples([(0, 0.5, 0.5), (0, 4, 0.5)])
+        norm = inst.normalized()
+        assert math.isclose(min(it.length for it in norm), 1.0)
+        assert math.isclose(norm.mu, inst.mu)
+
+    def test_normalized_empty(self):
+        assert len(Instance([]).normalized()) == 0
+
+    def test_concat(self):
+        a = Instance.from_tuples([(0, 1, 0.5)])
+        b = Instance.from_tuples([(2, 3, 0.5)])
+        c = a.concat(b)
+        assert len(c) == 2
+        assert c.span == 2.0
+
+    def test_map_resorts(self):
+        inst = Instance.from_tuples([(0, 1, 0.5), (5, 6, 0.5)])
+        flipped = inst.map(lambda it: it.shifted(-it.arrival * 2))
+        assert [it.arrival for it in flipped] == sorted(
+            it.arrival for it in flipped
+        )

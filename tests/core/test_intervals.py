@@ -1,0 +1,123 @@
+"""Unit + property tests for the interval arithmetic kernel."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    covers,
+    gaps,
+    intersection_measure,
+    merge_intervals,
+    union_measure,
+)
+
+
+@st.composite
+def interval_lists(draw, n_max=15):
+    n = draw(st.integers(min_value=0, max_value=n_max))
+    out = []
+    for _ in range(n):
+        lo = draw(st.floats(min_value=-20, max_value=20, allow_nan=False))
+        length = draw(st.floats(min_value=0.01, max_value=10, allow_nan=False))
+        out.append((lo, lo + length))
+    return out
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlap(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_nested(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(2, 2)])
+
+    @given(interval_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_merged_is_disjoint_and_sorted(self, ivs):
+        merged = merge_intervals(ivs)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(merged, merged[1:]):
+            assert a_hi < b_lo
+
+
+class TestUnionMeasure:
+    def test_values(self):
+        assert union_measure([(0, 1), (2, 4)]) == 3.0
+        assert union_measure([(0, 2), (1, 3)]) == 3.0
+        assert union_measure([]) == 0.0
+
+    @given(interval_lists(n_max=10))
+    @settings(max_examples=80, deadline=None)
+    def test_subadditive(self, ivs):
+        total = sum(hi - lo for lo, hi in ivs)
+        u = union_measure(ivs)
+        assert u <= total + 1e-9
+        if ivs:
+            assert u >= max(hi - lo for lo, hi in ivs) - 1e-9
+
+    @given(interval_lists(n_max=8), interval_lists(n_max=8))
+    @settings(max_examples=60, deadline=None)
+    def test_inclusion_exclusion(self, a, b):
+        lhs = union_measure(a + b)
+        rhs = union_measure(a) + union_measure(b) - intersection_measure(a, b)
+        assert math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestIntersection:
+    def test_disjoint(self):
+        assert intersection_measure([(0, 1)], [(2, 3)]) == 0.0
+
+    def test_partial(self):
+        assert intersection_measure([(0, 2)], [(1, 4)]) == 1.0
+
+    def test_multi(self):
+        assert intersection_measure([(0, 10)], [(1, 2), (3, 5)]) == 3.0
+
+    def test_symmetry(self):
+        a, b = [(0, 3), (5, 7)], [(2, 6)]
+        assert intersection_measure(a, b) == intersection_measure(b, a)
+
+
+class TestCoversAndGaps:
+    def test_covers_half_open(self):
+        assert covers([(0, 1)], 0.0)
+        assert not covers([(0, 1)], 1.0)
+
+    def test_gaps(self):
+        assert gaps([(0, 1), (3, 4), (4, 6)]) == [(1, 3)]
+
+    def test_no_gaps(self):
+        assert gaps([(0, 2), (1, 3)]) == []
+
+    @given(interval_lists(n_max=10))
+    @settings(max_examples=60, deadline=None)
+    def test_gap_points_uncovered(self, ivs):
+        for lo, hi in gaps(ivs):
+            mid = (lo + hi) / 2
+            assert not covers(ivs, mid)
+
+
+def test_span_agrees_with_instance():
+    """Instance.span must equal the interval-union measure (cross-check)."""
+    from repro.workloads.random_general import uniform_random
+
+    inst = uniform_random(100, 16, seed=12)
+    direct = union_measure((it.arrival, it.departure) for it in inst)
+    assert math.isclose(inst.span, direct, rel_tol=1e-12)

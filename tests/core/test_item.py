@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.core.item`."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidItemError
+from repro.core.item import Item
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        it = Item(1.0, 3.0, 0.5, uid=7)
+        assert it.arrival == 1.0
+        assert it.departure == 3.0
+        assert it.size == 0.5
+        assert it.uid == 7
+
+    def test_unknown_departure_allowed(self):
+        it = Item(0.0, None, 0.25)
+        assert not it.clairvoyant
+
+    def test_known_departure_is_clairvoyant(self):
+        assert Item(0.0, 1.0, 0.5).clairvoyant
+
+    def test_departure_must_exceed_arrival(self):
+        with pytest.raises(InvalidItemError):
+            Item(2.0, 2.0, 0.5)
+
+    def test_departure_before_arrival_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(2.0, 1.0, 0.5)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, 1.0, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, 1.0, -0.1)
+
+    def test_size_above_one_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, 1.0, 1.0001)
+
+    def test_size_exactly_one_allowed(self):
+        assert Item(0.0, 1.0, 1.0).size == 1.0
+
+    def test_nan_arrival_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(math.nan, 1.0, 0.5)
+
+    def test_infinite_departure_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(0.0, math.inf, 0.5)
+
+    def test_negative_arrival_allowed(self):
+        # the model does not require non-negative time
+        assert Item(-3.0, -1.0, 0.5).length == 2.0
+
+
+class TestDerived:
+    def test_length(self):
+        assert Item(1.0, 5.0, 0.5).length == 4.0
+
+    def test_length_of_unknown_departure_raises(self):
+        with pytest.raises(InvalidItemError):
+            _ = Item(0.0, None, 0.5).length
+
+    def test_demand(self):
+        assert Item(0.0, 4.0, 0.25).demand == 1.0
+
+    def test_active_at_half_open(self):
+        it = Item(1.0, 2.0, 0.5)
+        assert not it.active_at(0.999)
+        assert it.active_at(1.0)  # closed on the left
+        assert it.active_at(1.999)
+        assert not it.active_at(2.0)  # open on the right
+
+    def test_active_unknown_departure(self):
+        it = Item(1.0, None, 0.5)
+        assert it.active_at(100.0)
+        assert not it.active_at(0.5)
+
+    def test_overlap_true(self):
+        assert Item(0, 2, 0.5).overlaps(Item(1, 3, 0.5))
+
+    def test_overlap_touching_is_false(self):
+        # departure == arrival → no overlap (half-open)
+        assert not Item(0, 2, 0.5).overlaps(Item(2, 3, 0.5))
+
+    def test_overlap_disjoint_false(self):
+        assert not Item(0, 1, 0.5).overlaps(Item(5, 6, 0.5))
+
+    def test_overlap_requires_departures(self):
+        with pytest.raises(InvalidItemError):
+            Item(0, None, 0.5).overlaps(Item(0, 1, 0.5))
+
+
+class TestTransforms:
+    def test_masked_hides_departure(self):
+        m = Item(0.0, 5.0, 0.5, uid=3).masked()
+        assert m.departure is None
+        assert m.arrival == 0.0 and m.size == 0.5 and m.uid == 3
+
+    def test_with_departure(self):
+        it = Item(0.0, 2.0, 0.5).with_departure(8.0)
+        assert it.departure == 8.0
+
+    def test_shifted(self):
+        it = Item(1.0, 3.0, 0.5).shifted(10.0)
+        assert (it.arrival, it.departure) == (11.0, 13.0)
+
+    def test_shifted_unknown_departure(self):
+        it = Item(1.0, None, 0.5).shifted(4.0)
+        assert it.arrival == 5.0 and it.departure is None
+
+    def test_scaled(self):
+        it = Item(1.0, 3.0, 0.5).scaled(2.0)
+        assert (it.arrival, it.departure) == (2.0, 6.0)
+        assert it.size == 0.5  # sizes unchanged
+
+    def test_scaled_nonpositive_rejected(self):
+        with pytest.raises(InvalidItemError):
+            Item(1.0, 3.0, 0.5).scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Item(0, 1, 0.5).arrival = 3.0  # type: ignore[misc]
+
+    def test_str_contains_uid_and_interval(self):
+        s = str(Item(0.0, 2.0, 0.25, uid=4))
+        assert "r4" in s and "[0,2)" in s
+
+    def test_str_unknown_departure(self):
+        assert "?" in str(Item(0.0, None, 0.25))

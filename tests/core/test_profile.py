@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.core.profile`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Instance
+from repro.core.item import Item
+from repro.core.profile import LoadProfile, load_profile, step_function_integral
+
+
+def profile_of(*triples):
+    return load_profile(Instance.from_tuples(list(triples)))
+
+
+class TestLoadProfileConstruction:
+    def test_empty(self):
+        prof = load_profile([])
+        assert prof.integral() == 0.0
+        assert prof.support_measure() == 0.0
+        assert prof(0.0) == 0.0
+
+    def test_single_item(self):
+        prof = profile_of((0, 2, 0.5))
+        assert list(prof.breakpoints) == [0, 2]
+        assert list(prof.values) == [0.5]
+
+    def test_two_overlapping(self):
+        prof = profile_of((0, 2, 0.5), (1, 3, 0.25))
+        assert list(prof.breakpoints) == [0, 1, 2, 3]
+        assert np.allclose(prof.values, [0.5, 0.75, 0.25])
+
+    def test_departure_meets_arrival_nets_out(self):
+        prof = profile_of((0, 1, 0.5), (1, 2, 0.5))
+        assert np.allclose(prof.values, [0.5, 0.5])
+
+    def test_unknown_departure_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            load_profile([Item(0, None, 0.5)])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            LoadProfile(np.asarray([0.0, 1.0]), np.asarray([1.0, 2.0]))
+
+    def test_non_increasing_breakpoints_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            LoadProfile(np.asarray([0.0, 0.0]), np.asarray([1.0]))
+
+
+class TestEvaluation:
+    def test_call_right_continuous(self):
+        prof = profile_of((0, 2, 0.5), (2, 4, 0.25))
+        assert prof(2.0) == 0.25  # right-continuous at the jump
+
+    def test_call_outside_support(self):
+        prof = profile_of((0, 2, 0.5))
+        assert prof(-1.0) == 0.0
+        assert prof(2.0) == 0.0
+        assert prof(100.0) == 0.0
+
+    def test_integral(self):
+        prof = profile_of((0, 2, 0.5), (1, 3, 0.25))
+        assert math.isclose(prof.integral(), 0.5 * 1 + 0.75 * 1 + 0.25 * 1)
+
+    def test_integral_equals_demand(self, tiny_instance):
+        prof = load_profile(tiny_instance)
+        assert math.isclose(prof.integral(), tiny_instance.demand)
+
+    def test_ceil_integral(self):
+        prof = profile_of((0, 2, 0.5), (0, 2, 0.6))
+        assert math.isclose(prof.ceil_integral(), 2 * 2.0)
+
+    def test_ceil_integral_exact_integer_not_rounded_up(self):
+        # ten items of 0.1: load is exactly 1.0 → ceil must be 1, not 2
+        prof = profile_of(*[(0, 1, 0.1)] * 10)
+        assert math.isclose(prof.ceil_integral(), 1.0)
+
+    def test_support_measure_with_gap(self):
+        prof = profile_of((0, 1, 0.5), (3, 5, 0.5))
+        assert math.isclose(prof.support_measure(), 3.0)
+
+    def test_max(self):
+        prof = profile_of((0, 2, 0.5), (1, 3, 0.4))
+        assert math.isclose(prof.max(), 0.9)
+
+    def test_durations(self):
+        prof = profile_of((0, 1, 0.5), (1, 4, 0.5))
+        assert np.allclose(prof.durations, [1.0, 3.0])
+
+    def test_map(self):
+        prof = profile_of((0, 2, 0.4))
+        doubled = prof.map(lambda v: 2 * v)
+        assert math.isclose(doubled.integral(), 2 * prof.integral())
+
+
+class TestRestricted:
+    def test_restrict_inside(self):
+        prof = profile_of((0, 4, 0.5))
+        sub = prof.restricted(1.0, 3.0)
+        assert math.isclose(sub.integral(), 1.0)
+
+    def test_restrict_outside_is_zero(self):
+        prof = profile_of((0, 1, 0.5))
+        sub = prof.restricted(5.0, 6.0)
+        assert sub.integral() == 0.0
+
+    def test_restrict_partial_overlap(self):
+        prof = profile_of((0, 2, 0.5), (2, 4, 1.0))
+        sub = prof.restricted(1.0, 3.0)
+        assert math.isclose(sub.integral(), 0.5 + 1.0)
+
+    def test_restrict_empty_window(self):
+        prof = profile_of((0, 2, 0.5))
+        assert prof.restricted(3.0, 3.0).integral() == 0.0
+        assert prof.restricted(5.0, 1.0).integral() == 0.0
+
+    def test_restrict_of_empty_profile(self):
+        from repro.core.profile import load_profile
+
+        prof = load_profile([])
+        assert prof.restricted(0.0, 4.0).integral() == 0.0
+
+
+def test_step_function_integral():
+    assert math.isclose(
+        step_function_integral([0.0, 1.0, 3.0], [2.0, 1.0]), 2.0 + 2.0
+    )
+
+
+def test_profile_matches_pointwise_sum_random():
+    rng = np.random.default_rng(3)
+    triples = []
+    for _ in range(50):
+        a = float(rng.uniform(0, 10))
+        triples.append((a, a + float(rng.uniform(0.1, 5)), float(rng.uniform(0.05, 1))))
+    inst = Instance.from_tuples(triples)
+    prof = load_profile(inst)
+    for t in rng.uniform(-1, 16, size=40):
+        assert math.isclose(
+            prof(float(t)), inst.load_at(float(t)), abs_tol=1e-9
+        )

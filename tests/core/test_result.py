@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.core.result`."""
+
+import math
+
+import pytest
+
+from repro.algorithms.anyfit import FirstFit
+from repro.algorithms.hybrid import GN_TAG, HybridAlgorithm
+from repro.core.errors import PackingError
+from repro.core.instance import Instance
+from repro.core.simulation import simulate
+
+
+@pytest.fixture
+def ff_result(tiny_instance):
+    return simulate(FirstFit(), tiny_instance)
+
+
+class TestAccessors:
+    def test_cost_positive(self, ff_result):
+        assert ff_result.cost > 0
+
+    def test_n_bins(self, ff_result):
+        assert ff_result.n_bins == 1
+
+    def test_assignment_covers_all_items(self, ff_result):
+        assert set(ff_result.assignment) == {it.uid for it in ff_result.items}
+
+    def test_bin_of(self, ff_result):
+        rec = ff_result.bin_of(0)
+        assert 0 in rec.item_uids
+
+    def test_bin_of_unknown_item(self, ff_result):
+        with pytest.raises(PackingError):
+            ff_result.bin_of(99)
+
+    def test_items_of(self, ff_result):
+        bin_uid = ff_result.assignment[0]
+        items = ff_result.items_of(bin_uid)
+        assert all(ff_result.assignment[it.uid] == bin_uid for it in items)
+
+    def test_true_interval_scheduled(self, ff_result):
+        a, d = ff_result.true_interval(0)
+        assert (a, d) == (0.0, 4.0)
+
+    def test_summary_keys(self, ff_result):
+        s = ff_result.summary()
+        assert {"algorithm", "n_items", "n_bins", "cost", "max_open"} <= set(s)
+
+
+class TestProfiles:
+    def test_profile_integral_equals_cost(self, ff_result):
+        assert math.isclose(
+            ff_result.open_bins_profile().integral(), ff_result.cost
+        )
+
+    def test_open_bins_at(self, full_bin_instance):
+        res = simulate(FirstFit(), full_bin_instance)
+        assert res.open_bins_at(1.0) == 2
+        assert res.open_bins_at(5.0) == 0
+
+    def test_max_open(self, full_bin_instance):
+        res = simulate(FirstFit(), full_bin_instance)
+        assert res.max_open == 2
+
+    def test_empty_result_profile(self):
+        res = simulate(FirstFit(), Instance([]))
+        assert res.open_bins_profile().integral() == 0.0
+        assert res.max_open == 0
+
+
+class TestTags:
+    def test_ha_tags_recorded(self):
+        inst = Instance.from_tuples([(0, 2, 0.1), (0, 2, 0.9), (0, 2, 0.9)])
+        res = simulate(HybridAlgorithm(), inst)
+        tags = {rec.tag[0] for rec in res.bins}
+        assert tags <= {"GN", "CD"}
+
+    def test_bins_with_tag_and_cost_of_tag(self):
+        inst = Instance.from_tuples([(0, 2, 0.1), (0, 2, 0.9), (0, 2, 0.9)])
+        res = simulate(HybridAlgorithm(), inst)
+        gn = res.bins_with_tag(lambda t: t and t[0] == GN_TAG)
+        cd = res.bins_with_tag(lambda t: t and t[0] == "CD")
+        assert len(gn) + len(cd) == res.n_bins
+        assert math.isclose(
+            res.cost_of_tag(lambda t: True), res.cost
+        )

@@ -1,0 +1,59 @@
+"""Tests for the extension experiments (small parameterisations)."""
+
+from repro.experiments.extensions import (
+    greedy_experiment,
+    open_aligned_experiment,
+    shalom_experiment,
+)
+from repro.experiments.growth import growth_experiment
+from repro.experiments.objectives import objectives_experiment
+
+
+class TestObjectives:
+    def test_passes(self):
+        res = objectives_experiment(mu=32, k=8)
+        assert res.passed
+        # both scenarios tie on max-bins and momentary ratio
+        spike, trap = res.rows
+        assert spike[1] == trap[1]
+        assert abs(spike[2] - trap[2]) <= 1.0
+        # usage time separates them
+        assert trap[4] > 3 * spike[4]
+
+
+class TestGrowth:
+    def test_sweep(self):
+        # μ up to 1024 is needed to discriminate log log μ from √log μ
+        res = growth_experiment(mus=(4, 16, 64, 256, 1024), nc_mus=(4, 8, 16))
+        assert res.passed, res.render()
+
+
+class TestGreedy:
+    def test_passes(self):
+        res = greedy_experiment(mus=(16, 64))
+        assert res.passed, res.render()
+
+
+class TestShalom:
+    def test_equivalence_exact(self):
+        res = shalom_experiment(gs=(2, 4), n_items=80)
+        assert res.passed
+        assert all(row[3] for row in res.rows)
+
+
+class TestOpenAligned:
+    def test_search_runs(self):
+        res = open_aligned_experiment(
+            mus=(8, 16), restarts=2, steps=15, n_items=20
+        )
+        assert res.passed
+        # ratios are sane: ≥ 1 and below the Theorem 5.1 constant
+        for row in res.rows:
+            assert 1.0 - 1e-9 <= row[1] <= row[3] + 8
+
+    def test_registered(self):
+        from repro.experiments import EXPERIMENTS
+
+        for eid in ("OPEN.ALIGN", "EXT.GREEDY", "EXT.SHALOM",
+                    "OBJ.MOTIVATION", "GROWTH"):
+            assert eid in EXPERIMENTS

@@ -1,0 +1,45 @@
+"""Tests for the NR-gap and adaptivity experiments."""
+
+from repro.experiments.gaps import adaptivity_experiment, nr_gap_experiment
+
+
+class TestNRGap:
+    def test_passes(self):
+        res = nr_gap_experiment(n_instances=25, n_items=6, seed=1)
+        assert res.passed, res.render()
+
+    def test_gap_bounds(self):
+        res = nr_gap_experiment(n_instances=25, n_items=6, seed=2)
+        (row,) = res.rows
+        samples, mean, p95, worst, bridge = row
+        assert samples > 0
+        assert 1.0 - 1e-9 <= mean <= worst <= bridge
+        # at this scale the bridge is very loose
+        assert worst < 2.0
+
+
+class TestAdaptivity:
+    def test_passes(self):
+        res = adaptivity_experiment(phases=5, per_phase=25, seed=3)
+        assert res.passed, res.render()
+
+    def test_mu_doubles_per_phase(self):
+        res = adaptivity_experiment(phases=5, per_phase=25, seed=3)
+        mus = [row[1] for row in res.rows]
+        assert mus == [2.0**p for p in range(5)]
+
+    def test_ratio_stays_small(self):
+        res = adaptivity_experiment(phases=6, per_phase=30, seed=4)
+        assert all(row[4] < 3.0 for row in res.rows)
+
+
+class TestRandomized:
+    def test_passes(self):
+        from repro.experiments.randomized import randomized_experiment
+
+        res = randomized_experiment(mus=(16, 64), seeds=(0, 1, 2))
+        assert res.passed, res.render()
+        # every seed was forced: min ratio ≥ theorem floor, floor held
+        for row in res.rows:
+            assert row[6] is True
+            assert row[2] >= row[5]

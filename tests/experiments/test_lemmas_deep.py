@@ -1,0 +1,50 @@
+"""Tests for the deep lemma experiments (small parameterisations)."""
+
+from repro.experiments.lemmas5 import (
+    _expected_row,
+    lemma35_experiment,
+    lemma55_experiment,
+    lemma512_experiment,
+)
+
+
+class TestExpectedRow:
+    """The Lemma 5.5 row formula on the paper's own example."""
+
+    def test_paper_example(self):
+        # "if b_t = 1001000, then item of length 4 will be assigned to b_1^1"
+        # b_t = 1 || binary(t) over 7 bits → n = 6, binary(t) = 001000, t = 8
+        assert _expected_row(t=8, j=2, n=6) == 1
+
+    def test_bit_one_goes_row_zero(self):
+        # t=1, n=3: b_t = 1001 — the length-1 (j=0) and length-8 (j=3)
+        # items are at one-bits → row 0
+        assert _expected_row(1, 0, 3) == 0
+        assert _expected_row(1, 3, 3) == 0
+
+    def test_zero_run_rows(self):
+        # t=1, n=3: b_t = 1001: j=1 (bit 0, run of 1 zero then the MSB '1'
+        # ... positions: idx=2 → left neighbour idx=1 is '0', idx=0 is '1'
+        assert _expected_row(1, 1, 3) == 2
+        assert _expected_row(1, 2, 3) == 1
+
+    def test_t_zero(self):
+        # b_0 = 1000: lengths 1,2,4 at rows 3,2,1; length 8 at row 0
+        assert [_expected_row(0, j, 3) for j in range(4)] == [3, 2, 1, 0]
+
+
+class TestExperimentsSmall:
+    def test_lemma35(self):
+        res = lemma35_experiment(mus=(4, 16), seeds=(0,), n_items=80)
+        assert res.passed, res.render()
+
+    def test_lemma55(self):
+        res = lemma55_experiment(mus=(4, 16, 32))
+        assert res.passed, res.render()
+        assert all(row[2] == 0 for row in res.rows)
+
+    def test_lemma512(self):
+        res = lemma512_experiment(mus=(16, 64), seeds=(0,), n_items=100)
+        assert res.passed, res.render()
+        # min slack is genuinely positive but not huge (the bound bites)
+        assert all(0 <= row[3] < 5 for row in res.rows)

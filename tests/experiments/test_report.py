@@ -1,0 +1,41 @@
+"""Tests for the Markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.experiments.report import generate_report, run_experiments
+
+
+class TestRunExperiments:
+    def test_subset(self):
+        results = run_experiments(["LEM5.9", "FIG2"])
+        assert [r.experiment_id for r in results] == ["LEM5.9", "FIG2"]
+        assert all(r.passed for r in results)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiments(["NOPE"])
+
+
+class TestGenerateReport:
+    def test_structure(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(["LEM5.9", "COR5.8"], out_path=out)
+        assert out.read_text() == text
+        assert text.startswith("# Reproduction report")
+        assert "| LEM5.9 |" in text
+        assert "| COR5.8 |" in text
+        assert "2/2 experiments passed" in text
+        assert "```" in text  # tables fenced
+
+    def test_figures_embedded(self):
+        text = generate_report(["FIG2"])
+        assert "σ_8" in text
+        assert "class 3" in text  # the rendered figure itself
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "LEM5.9"]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the ratio_sweep utility."""
+
+import pytest
+
+from repro.experiments.sweep import ratio_sweep
+from repro.workloads.random_general import uniform_random
+
+
+def workload(mu: int, seed: int):
+    return uniform_random(50, mu, seed=seed)
+
+
+class TestRatioSweep:
+    def test_table_shape(self):
+        table = ratio_sweep(
+            ["FirstFit", "HybridAlgorithm"], workload, mus=(4, 16), seeds=(0, 1)
+        )
+        assert table.headers == ["mu", "FirstFit", "HybridAlgorithm"]
+        assert len(table.rows) == 2
+        assert table.rows[0][0] == 4
+
+    def test_cells_have_ci(self):
+        table = ratio_sweep(["FirstFit"], workload, mus=(4,), seeds=(0, 1, 2))
+        assert "[" in table.rows[0][1]
+
+    def test_single_seed_no_ci(self):
+        table = ratio_sweep(["FirstFit"], workload, mus=(4,), seeds=(0,))
+        assert "[" not in table.rows[0][1]
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_sweep(["FirstFit"], workload, mus=(4,), seeds=())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            ratio_sweep(["Bogus"], workload, mus=(4,), seeds=(0,))
+
+    def test_parallel_matches_serial(self):
+        serial = ratio_sweep(
+            ["FirstFit"], workload, mus=(4, 16), seeds=(0, 1), workers=1
+        )
+        par = ratio_sweep(
+            ["FirstFit"], workload, mus=(4, 16), seeds=(0, 1), workers=2
+        )
+        assert serial.rows == par.rows
+
+
+class TestCLIGroupCoverage:
+    def test_every_experiment_in_exactly_one_group(self):
+        """The CLI's group map must cover the registry, no dupes, no strays."""
+        from repro.cli import _GROUPS
+        from repro.experiments import EXPERIMENTS
+
+        listed = [eid for ids in _GROUPS.values() for eid in ids]
+        assert len(listed) == len(set(listed)), "duplicate id across groups"
+        assert set(listed) == set(EXPERIMENTS), (
+            set(listed) ^ set(EXPERIMENTS)
+        )

@@ -1,0 +1,128 @@
+"""Integration tests: full pipelines across modules."""
+
+import math
+
+import pytest
+
+from repro import (
+    CDFF,
+    FirstFit,
+    HybridAlgorithm,
+    NonClairvoyantAdversary,
+    SqrtLogAdversary,
+    aligned_random,
+    audit,
+    binary_input,
+    cloud_gaming,
+    dual_coloring,
+    measure_ratio,
+    opt_reference,
+    partition_aligned,
+    simulate,
+    uniform_random,
+    waterfill,
+)
+from repro.analysis.theory import (
+    cdff_aligned_upper_bound,
+    ha_upper_bound,
+    lower_bound_sqrt_log,
+)
+
+
+class TestAdversaryPipeline:
+    """Adversary → generated instance → OPT oracles → certified ratio."""
+
+    def test_sqrt_log_full_chain(self):
+        mu = 64
+        adv = SqrtLogAdversary(mu)
+        out = adv.run(FirstFit())
+        audit(out.result)
+        opt = opt_reference(out.instance, max_exact=14)
+        dc = dual_coloring(out.instance)
+        dc.audit()
+        # chain of inequalities the proof uses
+        assert out.online_cost >= mu * adv.target_bins - 1e-9
+        assert dc.cost >= opt.lower - 1e-6
+        ratio_vs_optr = out.online_cost / opt.upper
+        ratio_vs_dc = out.online_cost / dc.cost
+        assert ratio_vs_optr >= lower_bound_sqrt_log(mu)
+        assert ratio_vs_dc >= lower_bound_sqrt_log(mu) / 4  # DC ≤ 4 OPT_R
+
+    def test_nonclairvoyant_full_chain(self):
+        adv = NonClairvoyantAdversary(8, 8.0)
+        out = adv.run(FirstFit(clairvoyant=False))
+        audit(out.result)
+        opt = opt_reference(out.instance)
+        assert out.online_cost / opt.upper > 4.0
+
+
+class TestPartitionedCDFF:
+    """Section 5's partition: running CDFF on the whole aligned input equals
+    running it per segment (the algorithm re-derives the partition online)."""
+
+    def test_cost_equals_sum_of_segments(self):
+        inst = aligned_random(32, 120, seed=9, horizon=128)
+        whole = simulate(CDFF(), inst)
+        audit(whole)
+        segs = partition_aligned(inst)
+        seg_cost = 0.0
+        for seg in segs:
+            res = simulate(CDFF(), seg)
+            audit(res)
+            seg_cost += res.cost
+        assert math.isclose(whole.cost, seg_cost, rel_tol=1e-9)
+
+    def test_cdff_ratio_within_bound_on_partitioned_input(self):
+        inst = aligned_random(64, 200, seed=2, horizon=256)
+        est = measure_ratio(CDFF, inst, max_exact=16)
+        assert est.upper <= cdff_aligned_upper_bound(2 * 64)
+
+
+class TestCloudScenario:
+    """The intro's cloud story end-to-end: synthetic trace → algorithms →
+    OPT sandwich → HA within its bound."""
+
+    def test_cloud_pipeline(self):
+        inst = cloud_gaming(60.0, seed=3).normalized()
+        results = {}
+        for factory in (FirstFit, HybridAlgorithm):
+            res = simulate(factory(), inst)
+            audit(res)
+            results[res.algorithm] = res.cost
+        opt = opt_reference(inst, max_exact=16)
+        for name, cost in results.items():
+            assert cost >= opt.lower - 1e-6
+        assert results["HybridAlgorithm"] / opt.lower <= ha_upper_bound(inst.mu)
+
+
+class TestCrossValidation:
+    """Independent implementations must agree with each other."""
+
+    def test_binary_input_three_ways(self):
+        """CDFF cost on σ_μ: simulation == combinatorial formula == per-time
+        profile sum."""
+        from repro.analysis.binary_strings import sum_max_zero_run
+
+        mu = 128
+        res = simulate(CDFF(), binary_input(mu))
+        formula = mu + sum_max_zero_run(mu)
+        prof = res.open_bins_profile()
+        profile_sum = sum(int(prof(float(t))) for t in range(mu))
+        assert res.cost == formula == profile_sum
+
+    def test_waterfill_vs_oracle(self):
+        inst = uniform_random(100, 16, seed=8)
+        wf = waterfill(inst)
+        opt = opt_reference(inst, max_exact=18)
+        assert opt.lower - 1e-6 <= wf.cost <= 2 * opt.upper + 1e-6
+
+    @pytest.mark.parametrize("mu", [4, 16, 64])
+    def test_all_online_algorithms_beat_nothing(self, mu):
+        """Sanity ordering: every online cost ≥ exact OPT_R lower bound and
+        HA ≤ one-bin-per-item."""
+        inst = uniform_random(150, mu, seed=mu)
+        opt = opt_reference(inst, max_exact=16)
+        for factory in (FirstFit, HybridAlgorithm):
+            res = simulate(factory(), inst)
+            assert res.cost >= opt.lower - 1e-6
+            assert res.cost <= sum(it.length for it in inst) + 1e-9

@@ -1,0 +1,126 @@
+"""Unit tests for the exact bin-packing solver."""
+
+import numpy as np
+import pytest
+
+from repro.offline.binpack import ffd, l2_lower_bound, min_bins, min_bins_bounded
+
+
+class TestFFD:
+    def test_empty(self):
+        assert ffd([]) == 0
+
+    def test_single(self):
+        assert ffd([0.4]) == 1
+
+    def test_perfect_pairs(self):
+        assert ffd([0.6, 0.4, 0.7, 0.3]) == 2
+
+    def test_ffd_classic_suboptimal_case(self):
+        # FFD can exceed OPT; it must still be an upper bound
+        sizes = [0.45, 0.45, 0.35, 0.35, 0.2, 0.2]
+        assert ffd(sizes) >= min_bins(sizes)
+
+    def test_custom_capacity(self):
+        assert ffd([1.0, 1.0, 1.0], capacity=3.0) == 1
+
+
+class TestL2:
+    def test_empty(self):
+        assert l2_lower_bound([]) == 0
+
+    def test_volume_bound(self):
+        assert l2_lower_bound([0.5] * 7) >= 4  # ceil(3.5)
+
+    def test_big_items_counted(self):
+        # four items > 1/2 can never share
+        assert l2_lower_bound([0.6, 0.6, 0.6, 0.6]) == 4
+
+    def test_never_exceeds_optimum(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            sizes = list(rng.uniform(0.05, 1.0, size=int(rng.integers(1, 12))))
+            assert l2_lower_bound(sizes) <= min_bins(sizes)
+
+
+class TestMinBins:
+    def test_empty(self):
+        assert min_bins([]) == 0
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            min_bins([1.2])
+
+    def test_exact_thirds(self):
+        assert min_bins([1 / 3] * 6) == 2
+
+    def test_known_hard_case(self):
+        # FFD uses 3 bins here, optimum is 2 (classic example)
+        sizes = [0.41, 0.41, 0.3, 0.3, 0.29, 0.29]
+        assert min_bins(sizes) == 2
+
+    def test_all_big(self):
+        assert min_bins([0.51] * 5) == 5
+
+    def test_single_bin(self):
+        assert min_bins([0.2, 0.3, 0.4]) == 1
+
+    def test_matches_bruteforce_random(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            n = int(rng.integers(1, 9))
+            sizes = list(rng.uniform(0.1, 1.0, size=n))
+            assert min_bins(sizes) == _brute_force(sizes)
+
+    def test_capacity_parameter(self):
+        assert min_bins([2.0 / 3] * 3, capacity=2.0) == 1
+
+
+def _brute_force(sizes, capacity=1.0):
+    """Minimum bins by exhaustive partition (reference implementation)."""
+    best = len(sizes)
+
+    def rec(idx, bins):
+        nonlocal best
+        if len(bins) >= best:
+            return
+        if idx == len(sizes):
+            best = min(best, len(bins))
+            return
+        s = sizes[idx]
+        for k in range(len(bins)):
+            if bins[k] + s <= capacity + 1e-9:
+                bins[k] += s
+                rec(idx + 1, bins)
+                bins[k] -= s
+        bins.append(s)
+        rec(idx + 1, bins)
+        bins.pop()
+
+    rec(0, [])
+    return best
+
+
+class TestMinBinsBounded:
+    def test_exact_when_small(self):
+        lo, hi = min_bins_bounded([0.6, 0.6, 0.3], max_exact=10)
+        assert lo == hi == 2
+
+    def test_sandwich_when_large(self):
+        sizes = [0.3] * 40
+        lo, hi = min_bins_bounded(sizes, max_exact=10)
+        assert lo <= 12 + 1 and hi >= lo
+        assert lo <= _volume(sizes) + 1
+
+    def test_sandwich_brackets_optimum(self):
+        rng = np.random.default_rng(1)
+        sizes = list(rng.uniform(0.05, 0.95, size=30))
+        lo, hi = min_bins_bounded(sizes, max_exact=5)
+        exact = min_bins(sizes)
+        assert lo <= exact <= hi
+
+
+def _volume(sizes):
+    import math
+
+    return math.ceil(sum(sizes))

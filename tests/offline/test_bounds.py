@@ -1,0 +1,77 @@
+"""Unit tests for the closed-form OPT bounds (Section 2 / Lemma 3.1)."""
+
+import math
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.offline.bounds import (
+    OptSandwich,
+    ceil_load_bound,
+    demand_bound,
+    lemma31_ceil_upper,
+    lemma31_demand_span_upper,
+    opt_sandwich,
+    span_bound,
+)
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_tuples(
+        [(0, 2, 0.6), (0, 2, 0.6), (1, 3, 0.3), (5, 6, 0.2)]
+    )
+
+
+class TestLowerBounds:
+    def test_demand(self, inst):
+        assert math.isclose(demand_bound(inst), 1.2 + 1.2 + 0.6 + 0.2)
+
+    def test_span(self, inst):
+        assert math.isclose(span_bound(inst), 3.0 + 1.0)
+
+    def test_ceil_dominates_span(self, inst):
+        assert ceil_load_bound(inst) >= span_bound(inst) - 1e-12
+
+    def test_ceil_dominates_demand(self, inst):
+        assert ceil_load_bound(inst) >= demand_bound(inst) - 1e-12
+
+    def test_ceil_value(self, inst):
+        # loads: [0,1): 1.2→2; [1,2): 1.5→2; [2,3): 0.3→1; [5,6): 0.2→1
+        assert math.isclose(ceil_load_bound(inst), 2 + 2 + 1 + 1)
+
+
+class TestUpperBounds:
+    def test_lemma31_ceil(self, inst):
+        assert math.isclose(lemma31_ceil_upper(inst), 2 * ceil_load_bound(inst))
+
+    def test_lemma31_demand_span(self, inst):
+        assert math.isclose(
+            lemma31_demand_span_upper(inst),
+            2 * demand_bound(inst) + 2 * span_bound(inst),
+        )
+
+    def test_upper_at_least_lower(self, inst):
+        s = opt_sandwich(inst)
+        assert s.lower <= s.upper
+
+
+class TestOptSandwich:
+    def test_exact_flag(self):
+        assert OptSandwich(3.0, 3.0).exact
+        assert not OptSandwich(3.0, 4.0).exact
+
+    def test_midpoint(self):
+        assert OptSandwich(2.0, 4.0).midpoint == 3.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OptSandwich(5.0, 3.0)
+
+    def test_empty_instance(self):
+        s = opt_sandwich(Instance([]))
+        assert s.lower == s.upper == 0.0
+
+    def test_single_full_item(self):
+        s = opt_sandwich(Instance.from_tuples([(0, 4, 1.0)]))
+        assert s.lower == 4.0  # exactly one bin for 4 time units

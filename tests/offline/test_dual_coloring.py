@@ -1,0 +1,96 @@
+"""Unit tests for the Dual-Coloring stand-in (offline non-repacking packer)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import PackingError
+from repro.core.instance import Instance
+from repro.core.item import Item
+from repro.offline.dual_coloring import (
+    OfflineAssignment,
+    dual_coloring,
+    first_fit_decreasing_length,
+)
+from repro.offline.optimal import opt_reference
+from repro.workloads.random_general import uniform_random
+
+
+class TestOfflineAssignment:
+    def test_cost_single_group(self):
+        g = (Item(0, 2, 0.4, uid=0), Item(1, 3, 0.4, uid=1))
+        assert math.isclose(OfflineAssignment((g,)).cost, 3.0)
+
+    def test_cost_group_with_gap(self):
+        g = (Item(0, 1, 0.4, uid=0), Item(5, 6, 0.4, uid=1))
+        # a gap means the bin closes and reopens: usage is 2, not 6
+        assert math.isclose(OfflineAssignment((g,)).cost, 2.0)
+
+    def test_audit_passes_feasible(self):
+        g = (Item(0, 2, 0.5, uid=0), Item(0, 2, 0.5, uid=1))
+        OfflineAssignment((g,)).audit()
+
+    def test_audit_catches_overload(self):
+        g = (Item(0, 2, 0.7, uid=0), Item(0, 2, 0.7, uid=1))
+        with pytest.raises(PackingError):
+            OfflineAssignment((g,)).audit()
+
+    def test_audit_catches_duplicates(self):
+        it = Item(0, 2, 0.3, uid=0)
+        with pytest.raises(PackingError):
+            OfflineAssignment(((it,), (it,))).audit()
+
+
+class TestFFDLength:
+    def test_longest_first(self):
+        items = [Item(0, 1, 0.6, uid=0), Item(0, 8, 0.6, uid=1)]
+        a = first_fit_decreasing_length(items)
+        # the length-8 item seeds group 0
+        assert a.groups[0][0].uid == 1
+
+    def test_packs_compatible(self):
+        items = [Item(0, 4, 0.5, uid=0), Item(0, 4, 0.5, uid=1)]
+        a = first_fit_decreasing_length(items)
+        assert a.n_bins == 1
+
+    def test_respects_capacity_over_time(self):
+        items = [
+            Item(0, 4, 0.6, uid=0),
+            Item(2, 6, 0.6, uid=1),  # overlaps on [2,4): must split
+        ]
+        a = first_fit_decreasing_length(items)
+        a.audit()
+        assert a.n_bins == 2
+
+
+class TestDualColoring:
+    def test_big_items_private(self):
+        inst = Instance.from_tuples([(0, 2, 0.9), (0, 2, 0.9), (0, 2, 0.1)])
+        a = dual_coloring(inst)
+        a.audit()
+        big_groups = [g for g in a.groups if any(it.size > 0.5 for it in g)]
+        assert all(len(g) == 1 for g in big_groups)
+
+    def test_cost_upper_bounds_opt_nr_role(self):
+        """DC is a feasible non-repacking packing, so its cost ≥ OPT bounds
+        and it must stay within 4×OPT_R on the tested families."""
+        for seed in range(4):
+            inst = uniform_random(150, 32, seed=seed)
+            a = dual_coloring(inst)
+            a.audit()
+            opt = opt_reference(inst, max_exact=16)
+            assert a.cost >= opt.lower - 1e-6
+            assert a.cost <= 4.0 * opt.upper + 1e-6
+
+    def test_empty(self):
+        a = dual_coloring(Instance([]))
+        assert a.cost == 0.0 and a.n_bins == 0
+
+    def test_adversary_family(self):
+        from repro.workloads.adversarial import full_adversary_schedule
+
+        inst = full_adversary_schedule(64)
+        a = dual_coloring(inst)
+        a.audit()
+        opt = opt_reference(inst, max_exact=16)
+        assert a.cost <= 4.0 * opt.upper + 1e-6

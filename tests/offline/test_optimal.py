@@ -1,0 +1,120 @@
+"""Unit tests for the OPT oracles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Instance
+from repro.offline.optimal import opt_nonrepacking, opt_reference, opt_repacking
+from repro.workloads.aligned import binary_input
+from repro.workloads.random_general import uniform_random
+
+
+class TestOptRepacking:
+    def test_empty(self):
+        s = opt_repacking(Instance([]))
+        assert s.lower == s.upper == 0.0
+
+    def test_single_item(self):
+        s = opt_repacking(Instance.from_tuples([(0, 3, 0.4)]))
+        assert s.exact and math.isclose(s.lower, 3.0)
+
+    def test_two_big_items(self):
+        s = opt_repacking(Instance.from_tuples([(0, 2, 0.8), (0, 2, 0.8)]))
+        assert s.exact and math.isclose(s.lower, 4.0)
+
+    def test_repacking_beats_nonrepacking_example(self):
+        # A: [0,2] 0.6; B: [1,3] 0.6 — at every instant one bin suffices for
+        # each alone, two when they overlap
+        inst = Instance.from_tuples([(0, 2, 0.6), (1, 3, 0.6)])
+        s = opt_repacking(inst)
+        assert s.exact and math.isclose(s.lower, 1 + 2 + 1 - 0)  # 2 bins on [1,2]
+
+    def test_binary_input_is_mu(self):
+        mu = 64
+        s = opt_repacking(binary_input(mu))
+        assert s.exact and math.isclose(s.lower, mu)
+
+    def test_sandwich_on_large_segments(self):
+        inst = Instance.from_tuples([(0, 1, 0.3)] * 40)
+        s = opt_repacking(inst, max_exact=5)
+        assert s.lower <= s.upper
+        assert s.lower >= math.ceil(40 * 0.3) * 1.0 - 1e-9
+
+    def test_capacity(self):
+        inst = Instance.from_tuples([(0, 1, 1.0)] * 4)
+        s = opt_repacking(inst, capacity=2.0)
+        assert s.exact and math.isclose(s.lower, 2.0)
+
+    def test_agrees_with_bounds_random(self):
+        from repro.offline.bounds import opt_sandwich
+
+        for seed in range(3):
+            inst = uniform_random(60, 16, seed=seed)
+            oracle = opt_repacking(inst, max_exact=20)
+            closed = opt_sandwich(inst)
+            assert oracle.lower >= closed.lower - 1e-6
+            assert oracle.upper <= closed.upper + 1e-6
+
+
+class TestOptNonrepacking:
+    def test_empty(self):
+        assert opt_nonrepacking(Instance([])) == 0.0
+
+    def test_single(self):
+        assert opt_nonrepacking(Instance.from_tuples([(0, 3, 0.4)])) == 3.0
+
+    def test_pair_packs_together(self):
+        inst = Instance.from_tuples([(0, 2, 0.4), (1, 3, 0.4)])
+        assert math.isclose(opt_nonrepacking(inst), 3.0)
+
+    def test_pair_forced_apart(self):
+        inst = Instance.from_tuples([(0, 2, 0.8), (1, 3, 0.8)])
+        assert math.isclose(opt_nonrepacking(inst), 4.0)
+
+    def test_at_least_repacking(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            triples = []
+            for _ in range(6):
+                a = float(rng.uniform(0, 4))
+                triples.append(
+                    (a, a + float(rng.uniform(0.5, 3)), float(rng.uniform(0.1, 1)))
+                )
+            inst = Instance.from_tuples(triples)
+            nr = opt_nonrepacking(inst)
+            r = opt_repacking(inst)
+            assert nr >= r.lower - 1e-9
+
+    def test_too_many_items_rejected(self):
+        inst = Instance.from_tuples([(0, 1, 0.1)] * 20)
+        with pytest.raises(InvalidInstanceError):
+            opt_nonrepacking(inst, max_items=10)
+
+    def test_nonrepacking_gap_example(self):
+        """A case where OPT_NR > OPT_R: staircase overlap forcing a bad
+        irrevocable choice."""
+        # X: [0,10] 0.5; Y: [0,1] 0.5; Z: [1,10] 0.6
+        # NR: X with Y → Z separate: 10+10=20; X alone: 10+1+9=20; best 20?
+        # R: repack at t=1: [0,1]: {X,Y} 1 bin; [1,10]: X+Z=1.1 → 2 bins...
+        inst = Instance.from_tuples([(0, 10, 0.5), (0, 1, 0.5), (1, 10, 0.6)])
+        nr = opt_nonrepacking(inst)
+        r = opt_repacking(inst)
+        assert r.exact
+        assert nr >= r.lower
+
+
+class TestOptReference:
+    def test_combines_bounds(self):
+        inst = uniform_random(50, 8, seed=1)
+        ref = opt_reference(inst)
+        oracle = opt_repacking(inst)
+        assert ref.lower >= oracle.lower - 1e-12
+        assert ref.upper <= oracle.upper + 1e-12
+
+    def test_exact_passthrough(self):
+        inst = Instance.from_tuples([(0, 2, 1.0), (0, 2, 1.0)])
+        ref = opt_reference(inst)
+        assert ref.exact and math.isclose(ref.lower, 4.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the Lemma 3.1 constructive repacking (waterfill)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.profile import load_profile
+from repro.offline.bounds import (
+    ceil_load_bound,
+    lemma31_ceil_upper,
+    lemma31_demand_span_upper,
+)
+from repro.offline.waterfill import waterfill
+from repro.workloads.random_general import uniform_random
+
+
+class TestWaterfillBasics:
+    def test_empty(self):
+        wf = waterfill(Instance([]))
+        assert wf.cost == 0.0
+
+    def test_single_item(self):
+        wf = waterfill(Instance.from_tuples([(0, 3, 0.4)]))
+        assert math.isclose(wf.cost, 3.0)
+
+    def test_merges_into_one_bin(self):
+        # two 0.4 items must be merged (combined ≤ 1)
+        wf = waterfill(Instance.from_tuples([(0, 2, 0.4), (0, 2, 0.4)]))
+        assert math.isclose(wf.cost, 2.0)
+        assert wf.max_open == 1
+
+    def test_cannot_merge_big(self):
+        wf = waterfill(Instance.from_tuples([(0, 2, 0.8), (0, 2, 0.8)]))
+        assert math.isclose(wf.cost, 4.0)
+
+    def test_remerges_after_departures(self):
+        # three 0.5 items: two bins; one departs early → merge back to one
+        inst = Instance.from_tuples([(0, 4, 0.5), (0, 4, 0.5), (0, 1, 0.5)])
+        wf = waterfill(inst)
+        # [0,1): 2 bins (1.0 + 0.5); [1,4): 1 bin
+        assert math.isclose(wf.cost, 2 * 1 + 1 * 3)
+
+
+class TestLemma31Guarantees:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cost_within_upper_bounds(self, seed):
+        inst = uniform_random(120, 32, seed=seed)
+        wf = waterfill(inst)
+        assert wf.cost <= lemma31_ceil_upper(inst) + 1e-6
+        assert wf.cost <= lemma31_demand_span_upper(inst) + 1e-6
+        assert wf.cost >= ceil_load_bound(inst) - 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_pointwise_invariant(self, seed):
+        """At every breakpoint the open-bin count is ≤ 2⌈S_t⌉."""
+        inst = uniform_random(80, 16, seed=seed)
+        wf = waterfill(inst)
+        load = load_profile(inst)
+        checkpoints = np.union1d(wf.profile.breakpoints, load.breakpoints)
+        for t in checkpoints[:-1]:
+            n = wf.profile(float(t))
+            s = load(float(t))
+            assert n <= 2 * math.ceil(s - 1e-9) + 1e-9, f"t={t}: {n} vs S={s}"
+
+    def test_profile_integral_is_cost(self):
+        inst = uniform_random(60, 8, seed=9)
+        wf = waterfill(inst)
+        assert math.isclose(wf.cost, wf.profile.integral())

@@ -1,0 +1,102 @@
+"""Property-based tests on the core data structures (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.item import Item
+from repro.core.profile import load_profile
+
+sizes = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+lengths = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def items(draw, n_max=25):
+    n = draw(st.integers(min_value=1, max_value=n_max))
+    triples = []
+    for _ in range(n):
+        a = draw(times)
+        l = draw(lengths)
+        s = draw(sizes)
+        triples.append((a, a + l, s))
+    return Instance.from_tuples(triples)
+
+
+class TestInstanceProperties:
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_span_at_most_extent(self, inst):
+        first = min(it.arrival for it in inst)
+        last = max(it.departure for it in inst)
+        assert inst.span <= last - first + 1e-9
+
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_span_at_least_longest_item(self, inst):
+        assert inst.span >= max(it.length for it in inst) - 1e-9
+
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_demand_is_profile_integral(self, inst):
+        assert math.isclose(
+            load_profile(inst).integral(), inst.demand, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_max_load_at_most_total_size(self, inst):
+        assert inst.stats.max_load <= inst.stats.total_size + 1e-9
+
+    @given(items(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_homogeneity(self, inst, factor):
+        scaled = inst.scaled(factor)
+        assert math.isclose(scaled.span, factor * inst.span, rel_tol=1e-9)
+        assert math.isclose(scaled.demand, factor * inst.demand, rel_tol=1e-9)
+        assert math.isclose(scaled.mu, inst.mu, rel_tol=1e-9)
+
+    @given(items(), st.floats(min_value=-50, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_invariance(self, inst, delta):
+        shifted = inst.shifted(delta)
+        assert math.isclose(shifted.span, inst.span, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(shifted.demand, inst.demand, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestProfileProperties:
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_profile_nonnegative(self, inst):
+        prof = load_profile(inst)
+        assert all(v >= -1e-12 for v in prof.values)
+
+    @given(items())
+    @settings(max_examples=60, deadline=None)
+    def test_ceil_bounds(self, inst):
+        """span ≤ ∫⌈S⌉ and demand ≤ ∫⌈S⌉ ≤ demand + span."""
+        prof = load_profile(inst)
+        ceil = prof.ceil_integral()
+        assert ceil >= prof.support_measure() - 1e-9
+        assert ceil >= prof.integral() - 1e-9
+        assert ceil <= prof.integral() + prof.support_measure() + 1e-6
+
+    @given(items(), times)
+    @settings(max_examples=60, deadline=None)
+    def test_profile_matches_pointwise(self, inst, t):
+        prof = load_profile(inst)
+        assert math.isclose(prof(t), inst.load_at(t), abs_tol=1e-9)
+
+
+class TestItemProperties:
+    @given(times, lengths, sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_masking_roundtrip(self, a, l, s):
+        it = Item(a, a + l, s, uid=1)
+        masked = it.masked()
+        assert masked.departure is None
+        restored = masked.with_departure(a + l)
+        assert restored == it

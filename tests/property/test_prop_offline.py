@@ -1,0 +1,85 @@
+"""Property-based tests for the offline oracles and packers."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.offline.binpack import ffd, l2_lower_bound, min_bins
+from repro.offline.bounds import opt_sandwich
+from repro.offline.dual_coloring import dual_coloring
+from repro.offline.optimal import opt_nonrepacking, opt_repacking
+from repro.offline.waterfill import waterfill
+
+sizes_list = st.lists(
+    st.floats(min_value=0.02, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+@st.composite
+def small_instances(draw, n_max=7):
+    n = draw(st.integers(min_value=1, max_value=n_max))
+    triples = []
+    for _ in range(n):
+        a = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+        l = draw(st.floats(min_value=0.5, max_value=8, allow_nan=False))
+        s = draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+        triples.append((a, a + l, s))
+    return Instance.from_tuples(triples)
+
+
+class TestBinPackingProperties:
+    @given(sizes_list)
+    @settings(max_examples=80, deadline=None)
+    def test_l2_le_opt_le_ffd(self, sizes):
+        opt = min_bins(sizes)
+        assert l2_lower_bound(sizes) <= opt <= ffd(sizes)
+
+    @given(sizes_list)
+    @settings(max_examples=80, deadline=None)
+    def test_opt_at_least_volume(self, sizes):
+        assert min_bins(sizes) >= math.ceil(sum(sizes) - 1e-9)
+
+    @given(sizes_list, st.floats(min_value=0.02, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_items(self, sizes, extra):
+        assert min_bins(sizes + [extra]) >= min_bins(sizes)
+
+    @given(sizes_list)
+    @settings(max_examples=60, deadline=None)
+    def test_at_most_n(self, sizes):
+        assert min_bins(sizes) <= len(sizes)
+
+
+class TestOracleProperties:
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_sandwich_chain(self, inst):
+        """closed-form lower ≤ OPT_R ≤ OPT_NR ≤ Σ lengths, and Lemma 3.1."""
+        closed = opt_sandwich(inst)
+        oracle = opt_repacking(inst)
+        nr = opt_nonrepacking(inst, max_items=8)
+        assert closed.lower <= oracle.upper + 1e-6
+        assert oracle.lower <= nr + 1e-6
+        assert nr <= sum(it.length for it in inst) + 1e-9
+        assert oracle.upper <= closed.upper + 1e-6
+
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_waterfill_between_opt_and_lemma31(self, inst):
+        wf = waterfill(inst)
+        oracle = opt_repacking(inst)
+        assert wf.cost >= oracle.lower - 1e-6
+        assert wf.cost <= 2 * opt_sandwich(inst).lower + 1e-6 or \
+            wf.cost <= opt_sandwich(inst).upper + 1e-6
+
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_dual_coloring_feasible_and_above_optnr(self, inst):
+        dc = dual_coloring(inst)
+        dc.audit()
+        nr = opt_nonrepacking(inst, max_items=8)
+        assert dc.cost >= nr - 1e-6  # DC is one feasible NR packing

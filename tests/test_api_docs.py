@@ -1,0 +1,50 @@
+"""The generated API reference must exist, be current, and be complete."""
+
+import importlib
+import pathlib
+import sys
+
+API_MD = pathlib.Path(__file__).parent.parent / "docs" / "api.md"
+SCRIPTS = pathlib.Path(__file__).parent.parent / "scripts"
+
+
+def load_generator():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import gen_api_docs
+
+        importlib.reload(gen_api_docs)
+        return gen_api_docs
+    finally:
+        sys.path.remove(str(SCRIPTS))
+
+
+class TestApiDocs:
+    def test_file_is_current(self):
+        gen = load_generator()
+        assert API_MD.exists(), "run scripts/gen_api_docs.py"
+        assert API_MD.read_text() == gen.generate(), (
+            "docs/api.md is stale — run scripts/gen_api_docs.py"
+        )
+
+    def test_no_undocumented_symbols(self):
+        gen = load_generator()
+        text = gen.generate()
+        undocumented = [
+            line for line in text.splitlines() if "(undocumented)" in line
+        ]
+        assert not undocumented, undocumented
+
+    def test_key_symbols_listed(self):
+        text = API_MD.read_text()
+        for symbol in (
+            "HybridAlgorithm",
+            "CDFF",
+            "SqrtLogAdversary",
+            "opt_repacking",
+            "binary_input",
+            "align_departures",
+            "simulate",
+            "audit",
+        ):
+            assert f"`{symbol}`" in text

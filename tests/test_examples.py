@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (import + ``main()``) with stdout
+captured; the assertions check the story each example tells actually
+appears in its output.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    mod = importlib.util.module_from_spec(spec)  # type: ignore[arg-type]
+    sys.modules[spec.name] = mod  # type: ignore[union-attr]
+    try:
+        spec.loader.exec_module(mod)  # type: ignore[union-attr]
+        mod.main()
+    finally:
+        sys.modules.pop(spec.name, None)  # type: ignore[union-attr]
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "OPT_R" in out
+        assert "HybridAlgorithm" in out
+
+    def test_aligned_inputs(self, capsys):
+        out = run_example("aligned_inputs_cdff.py", capsys)
+        assert "MISMATCH" not in out  # Cor 5.8 identity holds live
+        assert "Figure 3" in out
+
+    def test_adversarial_lower_bound(self, capsys):
+        out = run_example("adversarial_lower_bound.py", capsys)
+        assert "ratio ≥" in out
+        assert "HybridAlgorithm" in out
+
+    def test_nonclairvoyant_gap(self, capsys):
+        out = run_example("nonclairvoyant_gap.py", capsys)
+        assert "μ+4" in out
+
+    @pytest.mark.slow
+    def test_cloud_server_allocation(self, capsys):
+        out = run_example("cloud_server_allocation.py", capsys)
+        assert "pathological burst" in out
+
+    @pytest.mark.slow
+    def test_custom_sweep(self, capsys):
+        out = run_example("custom_sweep.py", capsys)
+        assert "SWEEP" in out
+        assert "bit-exactly" in out

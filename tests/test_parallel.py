@@ -1,0 +1,57 @@
+"""Unit tests for the parallel sweep helpers."""
+
+import math
+
+import pytest
+
+from repro.parallel import ALGORITHM_REGISTRY, parallel_map, ratio_task
+from repro.workloads.random_general import uniform_random
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_order_preserved_parallel(self):
+        assert parallel_map(square, list(range(20)), workers=2) == [
+            x * x for x in range(20)
+        ]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], workers=0)
+
+    def test_empty(self):
+        assert parallel_map(square, []) == []
+
+
+class TestRatioTask:
+    def test_serial_ratio(self):
+        inst = uniform_random(60, 8, seed=0)
+        r = ratio_task(("FirstFit", inst))
+        assert r >= 1.0 - 1e-9
+
+    def test_unknown_algorithm(self):
+        inst = uniform_random(10, 4, seed=0)
+        with pytest.raises(KeyError):
+            ratio_task(("Nope", inst))
+
+    def test_registry_names(self):
+        assert "HybridAlgorithm" in ALGORITHM_REGISTRY
+        assert "CDFF" in ALGORITHM_REGISTRY
+
+    def test_parallel_equals_serial(self):
+        cells = [
+            (name, uniform_random(40, 8, seed=s))
+            for s in (0, 1)
+            for name in ("FirstFit", "HybridAlgorithm")
+        ]
+        serial = parallel_map(ratio_task, cells, workers=1)
+        par = parallel_map(ratio_task, cells, workers=2)
+        assert all(
+            math.isclose(a, b, rel_tol=1e-12) for a, b in zip(serial, par)
+        )

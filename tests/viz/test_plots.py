@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII charts and growth-curve rendering."""
+
+import pytest
+
+from repro.viz.plots import ascii_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "no series" in ascii_chart([1, 2], {})
+
+    def test_markers_present(self):
+        text = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "o" in text and "x" in text
+        assert "o a" in text and "x b" in text
+
+    def test_title(self):
+        text = ascii_chart([1, 2], {"a": [1.0, 2.0]}, title="my chart")
+        assert text.startswith("my chart")
+
+    def test_xticks_rendered(self):
+        text = ascii_chart([4, 16, 1024], {"a": [1.0, 2.0, 3.0]})
+        assert "1024" in text
+        assert "(μ)" in text
+
+    def test_monotone_series_monotone_rows(self):
+        """An increasing series must appear at non-increasing row indices."""
+        text = ascii_chart([1, 2, 3, 4], {"a": [1.0, 2.0, 3.0, 4.0]}, height=10)
+        rows = [
+            (r, line.index("o"))
+            for r, line in enumerate(text.splitlines())
+            if "o" in line and "|" in line
+        ]
+        # later columns (larger y) appear at smaller row numbers (higher up)
+        by_col = sorted(rows, key=lambda rc: rc[1])
+        row_indices = [r for r, _ in by_col]
+        assert row_indices == sorted(row_indices, reverse=True)
+
+    def test_constant_series_handled(self):
+        text = ascii_chart([1, 2], {"a": [2.0, 2.0]})
+        assert "o" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2, 3], {"a": [1.0, 2.0]})
+
+
+class TestGrowthCharts:
+    def test_all_three_charts(self):
+        from repro.experiments.curves import growth_charts
+
+        text = growth_charts(mus=(4, 16, 64), nc_mus=(4, 8))
+        assert "Theorem 5.1" in text
+        assert "Techniques-section traps" in text
+        assert "Non-clairvoyant wall" in text
+
+    def test_cli_curves(self, capsys):
+        from repro.cli import main
+
+        assert main(["curves"]) == 0
+        assert "σ_μ" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Unit + property tests for the workload combinators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.workloads.combinators import (
+    overlay,
+    periodic,
+    perturb_sizes,
+    thin,
+    truncate,
+)
+from repro.workloads.random_general import uniform_random
+
+
+@pytest.fixture
+def inst():
+    return uniform_random(40, 8, seed=1)
+
+
+class TestOverlay:
+    def test_counts_add(self, inst):
+        merged = overlay(inst, inst)
+        assert len(merged) == 2 * len(inst)
+
+    def test_demand_adds(self, inst):
+        merged = overlay(inst, inst)
+        assert math.isclose(merged.demand, 2 * inst.demand, rel_tol=1e-9)
+
+    def test_sorted(self, inst):
+        merged = overlay(inst, inst.shifted(3.0))
+        arrivals = [it.arrival for it in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_empty_overlay(self):
+        assert len(overlay(Instance([]), Instance([]))) == 0
+
+
+class TestPeriodic:
+    def test_repeats(self, inst):
+        rep = periodic(inst, period=100.0, repeats=3)
+        assert len(rep) == 3 * len(inst)
+
+    def test_disjoint_period_span_multiplies(self, inst):
+        extent = max(it.departure for it in inst)
+        rep = periodic(inst, period=extent + 10, repeats=3)
+        assert math.isclose(rep.span, 3 * inst.span, rel_tol=1e-9)
+
+    def test_invalid_params(self, inst):
+        with pytest.raises(ValueError):
+            periodic(inst, period=0.0, repeats=2)
+        with pytest.raises(ValueError):
+            periodic(inst, period=1.0, repeats=0)
+
+
+class TestPerturbSizes:
+    def test_zero_jitter_identity(self, inst):
+        assert perturb_sizes(inst, jitter=0.0) == inst
+
+    def test_sizes_stay_valid(self, inst):
+        out = perturb_sizes(inst, jitter=0.9, seed=3)
+        assert all(0 < it.size <= 1.0 for it in out)
+
+    def test_intervals_unchanged(self, inst):
+        out = perturb_sizes(inst, jitter=0.5, seed=2)
+        assert [(it.arrival, it.departure) for it in out] == [
+            (it.arrival, it.departure) for it in inst
+        ]
+
+    def test_deterministic(self, inst):
+        assert perturb_sizes(inst, jitter=0.3, seed=5) == perturb_sizes(
+            inst, jitter=0.3, seed=5
+        )
+
+    def test_invalid_jitter(self, inst):
+        with pytest.raises(ValueError):
+            perturb_sizes(inst, jitter=1.0)
+
+    def test_defuses_ff_trap(self):
+        """The FF trap needs exact fills; size jitter defuses most of it."""
+        from repro.algorithms.anyfit import FirstFit
+        from repro.core.simulation import simulate
+        from repro.offline.optimal import opt_reference
+        from repro.workloads.adversarial import ff_trap
+
+        trap = ff_trap(64, pairs=50)
+        jittered = perturb_sizes(trap, jitter=0.05, seed=0)
+        opt_t = opt_reference(trap, max_exact=8).lower
+        opt_j = opt_reference(jittered, max_exact=8).lower
+        sharp = simulate(FirstFit(), trap).cost / opt_t
+        soft = simulate(FirstFit(), jittered).cost / opt_j
+        assert soft < 0.5 * sharp
+
+
+class TestThin:
+    def test_keep_all(self, inst):
+        assert len(thin(inst, keep=1.0)) == len(inst)
+
+    def test_keeps_at_least_one(self, inst):
+        out = thin(inst, keep=0.0001, seed=1)
+        assert len(out) >= 1
+
+    def test_subset(self, inst):
+        out = thin(inst, keep=0.5, seed=2)
+        originals = {(it.arrival, it.departure, it.size) for it in inst}
+        assert all(
+            (it.arrival, it.departure, it.size) in originals for it in out
+        )
+
+    def test_invalid_keep(self, inst):
+        with pytest.raises(ValueError):
+            thin(inst, keep=0.0)
+
+
+class TestTruncate:
+    def test_drops_late_items(self):
+        inst = Instance.from_tuples([(0, 1, 0.5), (10, 12, 0.5)])
+        out = truncate(inst, horizon=5.0)
+        assert len(out) == 1
+
+    def test_clips_straddlers(self):
+        inst = Instance.from_tuples([(0, 10, 0.5)])
+        out = truncate(inst, horizon=4.0)
+        assert out[0].departure == 4.0
+
+    def test_noop_beyond_extent(self, inst):
+        extent = max(it.departure for it in inst)
+        assert truncate(inst, horizon=extent + 1) == Instance(
+            [it for it in inst]
+        )
+
+
+@given(
+    keep=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_thin_never_increases_any_stat(keep, seed):
+    inst = uniform_random(50, 8, seed=3)
+    out = thin(inst, keep=keep, seed=seed)
+    assert out.demand <= inst.demand + 1e-9
+    assert out.span <= inst.span + 1e-9
+    assert len(out) <= len(inst)

@@ -1,0 +1,54 @@
+"""Unit tests for instance CSV I/O."""
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import Instance
+from repro.workloads.io import dumps_csv, load_csv, loads_csv, save_csv
+
+
+class TestRoundTrip:
+    def test_simple(self, tiny_instance):
+        assert loads_csv(dumps_csv(tiny_instance)) == tiny_instance
+
+    def test_file_round_trip(self, tmp_path, tiny_instance):
+        path = tmp_path / "inst.csv"
+        save_csv(tiny_instance, path)
+        assert load_csv(path) == tiny_instance
+
+    def test_empty(self):
+        assert loads_csv(dumps_csv(Instance([]))) == Instance([])
+
+    def test_float_exactness(self):
+        inst = Instance.from_tuples([(0.1, 0.30000000000000004, 1 / 3)])
+        assert loads_csv(dumps_csv(inst)) == inst
+
+    def test_random_instances(self):
+        from repro.workloads.random_general import uniform_random
+
+        for seed in range(3):
+            inst = uniform_random(60, 16, seed=seed)
+            assert loads_csv(dumps_csv(inst)) == inst
+
+    def test_tie_order_preserved(self):
+        inst = Instance.from_tuples([(0, 1, 0.1), (0, 2, 0.2), (0, 3, 0.3)])
+        back = loads_csv(dumps_csv(inst))
+        assert [it.size for it in back] == [0.1, 0.2, 0.3]
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_csv("a,b,c\n1,2,0.5\n")
+
+    def test_wrong_column_count(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_csv("arrival,departure,size\n1,2\n")
+
+    def test_non_numeric(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_csv("arrival,departure,size\n1,2,big\n")
+
+    def test_invalid_item_propagates(self):
+        with pytest.raises(Exception):
+            loads_csv("arrival,departure,size\n5,2,0.5\n")  # dep < arr

@@ -1,0 +1,200 @@
+"""Unit tests for the workload generators."""
+
+import math
+
+import pytest
+
+from repro.core.validate import audit
+from repro.reductions.alignment import is_aligned
+from repro.workloads.adversarial import (
+    cbd_trap,
+    ff_trap,
+    full_adversary_schedule,
+    sigma_star,
+)
+from repro.workloads.aligned import aligned_random, binary_input
+from repro.workloads.cloud import batch_jobs, bounded_parallelism, cloud_gaming
+from repro.workloads.random_general import poisson_random, staircase, uniform_random
+
+
+class TestBinaryInput:
+    def test_item_count(self):
+        # Σ_{i=0}^{n} μ/2^i = 2μ − 1
+        for mu in (2, 8, 64):
+            assert len(binary_input(mu)) == 2 * mu - 1
+
+    def test_unit_load_at_all_times(self):
+        mu = 16
+        inst = binary_input(mu)
+        for t in (0.0, 3.5, 7.0, 15.9):
+            assert math.isclose(inst.load_at(t), 1.0)
+
+    def test_mu_property(self):
+        assert binary_input(32).mu == 32.0
+
+    def test_aligned(self):
+        assert is_aligned(binary_input(16))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            binary_input(12)
+        with pytest.raises(ValueError):
+            binary_input(1)
+
+    def test_custom_size(self):
+        inst = binary_input(8, size=0.1)
+        assert all(it.size == 0.1 for it in inst)
+
+
+class TestAlignedRandom:
+    def test_aligned(self):
+        for seed in range(3):
+            assert is_aligned(aligned_random(64, 100, seed=seed))
+
+    def test_deterministic(self):
+        a = aligned_random(32, 50, seed=4)
+        b = aligned_random(32, 50, seed=4)
+        assert a == b
+
+    def test_anchor_pins_horizon(self):
+        inst = aligned_random(32, 50, seed=0)
+        assert max(it.length for it in inst) == 32.0
+        assert inst[0].arrival == 0.0
+
+    def test_item_count(self):
+        assert len(aligned_random(16, 77, seed=0)) == 77
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            aligned_random(10, 50)
+        with pytest.raises(ValueError):
+            aligned_random(16, 0)
+        with pytest.raises(ValueError):
+            aligned_random(16, 10, horizon=8)
+
+    def test_class_weights(self):
+        import numpy as np
+
+        # all weight on class 0: every non-anchor item has length ≤ 1
+        inst = aligned_random(
+            16, 60, seed=1, class_weights=np.array([1.0, 0, 0, 0, 0])
+        )
+        lengths = sorted(it.length for it in inst)
+        assert lengths[-1] == 16.0  # the anchor
+        assert all(l <= 1.0 for l in lengths[:-1])
+
+    def test_class_weights_wrong_size_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            aligned_random(16, 10, class_weights=np.array([1.0, 1.0]))
+
+
+class TestSigmaStar:
+    def test_lengths(self):
+        inst = sigma_star(3.0, 16)
+        assert [it.length for it in inst] == [1, 2, 4, 8, 16]
+
+    def test_loads(self):
+        inst = sigma_star(0.0, 16)
+        assert all(math.isclose(it.size, 0.5) for it in inst)
+
+    def test_full_schedule_count(self):
+        mu = 8
+        inst = full_adversary_schedule(mu)
+        assert len(inst) == mu * (int(math.log2(mu)) + 1)
+
+
+class TestTraps:
+    def test_ff_trap_hurts_ff_only(self):
+        from repro.algorithms.anyfit import FirstFit
+        from repro.algorithms.hybrid import HybridAlgorithm
+        from repro.core.simulation import simulate
+
+        inst = ff_trap(64, pairs=50)
+        ff = simulate(FirstFit(), inst)
+        ha = simulate(HybridAlgorithm(), inst)
+        audit(ff)
+        audit(ha)
+        assert ff.cost > 5 * ha.cost
+
+    def test_ff_trap_validation(self):
+        with pytest.raises(ValueError):
+            ff_trap(64, pairs=200, eps=0.01)  # pins don't fit one bin
+
+    def test_cbd_trap_hurts_cbd_only(self):
+        from repro.algorithms.anyfit import FirstFit
+        from repro.algorithms.classify import ClassifyByDuration
+        from repro.core.simulation import simulate
+
+        inst = cbd_trap(64)
+        ff = simulate(FirstFit(), inst)
+        cbd = simulate(ClassifyByDuration(), inst)
+        assert cbd.cost > 2 * ff.cost
+
+    def test_cbd_trap_single_bin_opt(self):
+        inst = cbd_trap(32)
+        assert inst.stats.max_load <= 1.0 + 1e-9
+
+
+class TestRandomGeneral:
+    def test_uniform_mu_pinned(self):
+        inst = uniform_random(100, 64, seed=0)
+        assert math.isclose(inst.mu, 64.0)
+
+    def test_uniform_deterministic(self):
+        assert uniform_random(50, 8, seed=1) == uniform_random(50, 8, seed=1)
+
+    def test_uniform_min_items(self):
+        with pytest.raises(ValueError):
+            uniform_random(1, 8)
+
+    def test_poisson_runs(self):
+        inst = poisson_random(2.0, 16.0, 50.0, seed=3)
+        assert len(inst) >= 1
+        assert inst.mu <= 16.0 + 1e-9
+
+    def test_staircase(self):
+        inst = staircase(16)
+        assert [it.length for it in inst] == [1, 2, 4, 8, 16]
+
+
+class TestCloud:
+    def test_cloud_gaming_basic(self):
+        inst = cloud_gaming(50.0, seed=0)
+        assert len(inst) > 10
+        sizes = {it.size for it in inst}
+        assert sizes <= {0.125, 0.25, 0.5}
+
+    def test_cloud_gaming_deterministic(self):
+        assert cloud_gaming(20.0, seed=5) == cloud_gaming(20.0, seed=5)
+
+    def test_cloud_gaming_bounded_mu(self):
+        inst = cloud_gaming(50.0, seed=1, mean_session=1.0, max_session=16.0)
+        assert inst.mu <= 16.0 / (1.0 / 8.0) + 1e-6
+
+    def test_batch_jobs(self):
+        inst = batch_jobs(5, 10, seed=0)
+        assert len(inst) == 50
+        # lengths are powers of two up to float noise (arrival+len−arrival)
+        for it in inst:
+            k = round(math.log2(it.length))
+            assert 0 <= k <= 6
+            assert math.isclose(it.length, 2.0**k, rel_tol=1e-9)
+
+    def test_bounded_parallelism_uniform_sizes(self):
+        g = 5
+        inst = bounded_parallelism(g, 40, 16.0, seed=2)
+        assert all(math.isclose(it.size, 1 / g) for it in inst)
+
+    def test_bounded_parallelism_invalid_g(self):
+        with pytest.raises(ValueError):
+            bounded_parallelism(0, 10, 8.0)
+
+    def test_algorithms_run_on_cloud_trace(self):
+        from repro.algorithms.hybrid import HybridAlgorithm
+        from repro.core.simulation import simulate
+
+        inst = cloud_gaming(30.0, seed=2).normalized()
+        res = simulate(HybridAlgorithm(), inst)
+        audit(res)
