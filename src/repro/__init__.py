@@ -72,6 +72,17 @@ from .offline import (
     opt_sandwich,
     waterfill,
 )
+from .engine import (
+    Engine,
+    EngineMetrics,
+    EngineSummary,
+    check_parity,
+    load_checkpoint,
+    open_trace,
+    parity_suite,
+    replay,
+    save_checkpoint,
+)
 from .reductions import align_departures, is_aligned, partition_aligned
 from .workloads import (
     aligned_random,
@@ -79,8 +90,10 @@ from .workloads import (
     binary_input,
     bounded_parallelism,
     cloud_gaming,
+    dump_jsonl,
     full_adversary_schedule,
     load_csv,
+    load_jsonl,
     poisson_random,
     save_csv,
     sigma_star,
@@ -161,4 +174,16 @@ __all__ = [
     "bounded_parallelism",
     "save_csv",
     "load_csv",
+    "dump_jsonl",
+    "load_jsonl",
+    # streaming engine
+    "Engine",
+    "EngineSummary",
+    "EngineMetrics",
+    "replay",
+    "open_trace",
+    "save_checkpoint",
+    "load_checkpoint",
+    "check_parity",
+    "parity_suite",
 ]

@@ -9,6 +9,8 @@ Subcommands::
     repro-dbp lemmas               # lemma validations
     repro-dbp all                  # everything
     repro-dbp demo                 # a 10-second guided tour
+    repro-dbp pack t.csv -a CDFF   # batch-pack a trace file
+    repro-dbp replay t.jsonl       # stream a trace (constant memory)
 """
 
 from __future__ import annotations
@@ -113,6 +115,51 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-algorithms", action="store_true",
         help="print available algorithm names and exit",
     )
+    replayp = sub.add_parser(
+        "replay",
+        help="stream a trace through the constant-memory engine",
+        description="Replay a JSONL/CSV trace through the streaming "
+        "engine (repro.engine): constant memory, incremental accounting, "
+        "optional checkpointing and metrics.",
+    )
+    replayp.add_argument(
+        "trace", help="trace file (.jsonl/.csv; one request per row)"
+    )
+    replayp.add_argument(
+        "-a", "--algo", "--algorithm", dest="algorithm",
+        default="HybridAlgorithm",
+        help="algorithm name (see `pack --list-algorithms`)",
+    )
+    replayp.add_argument("--capacity", type=float, default=1.0)
+    replayp.add_argument(
+        "--format", choices=("auto", "jsonl", "csv"), default="auto",
+        help="trace format (default: infer from extension)",
+    )
+    replayp.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="write a metrics snapshot (counters/histograms/timings)",
+    )
+    replayp.add_argument(
+        "--checkpoint-every", type=int, metavar="N", default=0,
+        help="snapshot engine+algorithm state every N items",
+    )
+    replayp.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="checkpoint file (default: <trace>.ckpt)",
+    )
+    replayp.add_argument(
+        "--resume", metavar="PATH",
+        help="restore from a checkpoint and skip the items already fed",
+    )
+    replayp.add_argument(
+        "--limit", type=int, metavar="N", default=0,
+        help="replay only the first N items of the trace (0 = all)",
+    )
+    replayp.add_argument(
+        "--verify", action="store_true",
+        help="also run batch simulate() and assert engine/batch parity "
+        "(loads the whole trace into memory)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -134,6 +181,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "pack":
         return _pack(args)
+    if args.command == "replay":
+        return _replay(args)
     if args.command == "run":
         return _run(args.ids)
     if args.command == "all":
@@ -186,6 +235,116 @@ def _pack(args) -> int:
         from .viz.ascii import render_packing
 
         print(render_packing(result))
+    return 0
+
+
+def _replay(args) -> int:
+    import itertools
+    import time as _time
+
+    from .engine import (
+        Engine,
+        EngineMetrics,
+        JSONSink,
+        load_checkpoint,
+        open_trace,
+        save_checkpoint,
+    )
+    from .parallel import ALGORITHM_REGISTRY, _registry
+
+    registry = _registry()
+    if args.algorithm not in registry:
+        print(
+            f"unknown algorithm {args.algorithm!r}; options: "
+            + ", ".join(ALGORITHM_REGISTRY),
+            file=sys.stderr,
+        )
+        return 1
+
+    metrics = EngineMetrics()
+    if args.resume:
+        engine = load_checkpoint(args.resume)
+        if args.verify and not engine.record:
+            print(
+                "--verify needs a checkpoint taken from a --verify run "
+                "(the constant-memory engine keeps no history)",
+                file=sys.stderr,
+            )
+            return 1
+        engine.metrics = metrics if engine.metrics is None else engine.metrics
+        metrics = engine.metrics
+        skip = engine.accounting.arrivals
+        print(
+            f"resumed from {args.resume}: {skip} items already fed, "
+            f"t={engine.time:g}, cost so far {engine.cost_so_far:g}"
+        )
+    else:
+        engine = Engine(
+            registry[args.algorithm](),
+            capacity=args.capacity,
+            metrics=metrics,
+            record=args.verify,
+        )
+        skip = 0
+
+    source = open_trace(args.trace, format=args.format)
+    if args.limit:
+        source = itertools.islice(source, args.limit)
+    ckpt_path = args.checkpoint or f"{args.trace}.ckpt"
+    every = max(0, args.checkpoint_every)
+
+    t0 = _time.perf_counter()
+    fed = 0
+    for item in source:
+        if fed < skip:  # already applied before the checkpoint
+            fed += 1
+            continue
+        engine.feed(item)
+        fed += 1
+        if every and fed % every == 0:
+            save_checkpoint(engine, ckpt_path)
+    summary = engine.finish()
+    elapsed = _time.perf_counter() - t0
+
+    events = summary.items + engine.accounting.departures
+    rate = events / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{args.trace}: {summary.items} items replayed "
+        f"({events} events, {rate:,.0f} events/s)"
+    )
+    print(
+        f"{summary.algorithm}: cost={summary.cost:g} "
+        f"bins={summary.bins_opened} max_open={summary.max_open} "
+        f"peak_load={summary.peak_load:g}"
+    )
+    if every:
+        print(f"checkpoints: every {every} items -> {ckpt_path}")
+    if args.metrics:
+        metrics.flush(JSONSink(args.metrics), extra=summary.to_dict())
+        print(f"metrics written to {args.metrics}")
+    if args.verify:
+        from .core.instance import Instance
+        from .core.simulation import simulate
+
+        streamed = engine.result()
+        batch = simulate(
+            registry[args.algorithm](),
+            Instance(list(streamed.items), reassign_uids=False),
+            capacity=args.capacity,
+        )
+        delta = abs(batch.cost - summary.cost)
+        ok = (
+            delta <= 1e-9
+            and batch.max_open == summary.max_open
+            and streamed.assignment == batch.assignment
+        )
+        print(
+            f"parity vs simulate(): Δcost={delta:g}, "
+            f"max_open {batch.max_open} vs {summary.max_open} -> "
+            + ("ok" if ok else "MISMATCH")
+        )
+        if not ok:
+            return 1
     return 0
 
 

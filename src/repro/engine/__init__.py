@@ -1,0 +1,96 @@
+"""repro.engine — the streaming, event-driven packing engine.
+
+Where :func:`repro.core.simulation.simulate` needs the whole instance in
+memory and recomputes accounting per run, this subsystem replays traces
+of any length through an event loop with **incremental accounting**
+(cost and ``ON_t`` queryable mid-stream in O(1)), **constant memory**
+(peak RSS independent of trace length), **checkpoint/restore**, and an
+**observability layer** — while staying bit-for-bit consistent with the
+batch path (see :mod:`repro.engine.parity`).
+
+Quickstart::
+
+    from repro import FirstFit
+    from repro.engine import Engine, iter_jsonl
+
+    engine = Engine(FirstFit())
+    summary = engine.run(iter_jsonl("trace.jsonl"))
+    print(summary.cost, summary.max_open)
+
+or from the shell::
+
+    repro-dbp replay trace.jsonl --algo HybridAlgorithm --metrics m.json
+"""
+
+from .accounting import RunningAccounting
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from .events import ArrivalEvent, CheckpointEvent, DepartureEvent, Event, EventKind
+from .loop import Engine, EngineSummary, replay
+from .metrics import (
+    CallbackSink,
+    ConsoleSink,
+    Counter,
+    EngineMetrics,
+    Histogram,
+    JSONLSink,
+    JSONSink,
+    MetricsSink,
+    Timing,
+)
+from .parity import ParityReport, check_parity, default_parity_cells, parity_suite
+from .stream import (
+    ItemSource,
+    iter_csv,
+    iter_instance,
+    iter_jsonl,
+    iter_tuples,
+    merge,
+    open_trace,
+    ordered,
+    trace_format,
+)
+
+__all__ = [
+    "Engine",
+    "EngineSummary",
+    "replay",
+    "RunningAccounting",
+    "Event",
+    "EventKind",
+    "ArrivalEvent",
+    "DepartureEvent",
+    "CheckpointEvent",
+    "Checkpoint",
+    "snapshot",
+    "restore",
+    "save_checkpoint",
+    "load_checkpoint",
+    "EngineMetrics",
+    "MetricsSink",
+    "Counter",
+    "Histogram",
+    "Timing",
+    "ConsoleSink",
+    "JSONSink",
+    "JSONLSink",
+    "CallbackSink",
+    "ParityReport",
+    "check_parity",
+    "parity_suite",
+    "default_parity_cells",
+    "ItemSource",
+    "iter_instance",
+    "iter_jsonl",
+    "iter_csv",
+    "iter_tuples",
+    "ordered",
+    "merge",
+    "open_trace",
+    "trace_format",
+]

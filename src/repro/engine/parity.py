@@ -1,0 +1,183 @@
+"""Batch/streaming parity: the engine's trust anchor.
+
+Every later optimisation builds on the streaming engine, so the engine
+must be *provably interchangeable* with the audited batch path.  This
+module checks, for a given algorithm and instance, that
+
+- final **cost** matches ``simulate()`` bit-for-bit (same close-order
+  summation; the check still allows a 1e-9 slack so the contract is
+  stated in tolerant terms),
+- **max_open** matches exactly,
+- the item→bin **assignment** matches exactly, and
+- per-bin records (open/close times, members, peak loads) match.
+
+:func:`parity_suite` sweeps the full algorithm registry over every
+workload-generator family — general algorithms on the random/cloud
+generators, the aligned-only CDFF variants on binary/aligned inputs —
+and is what the engine test-suite and CI assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.simulation import simulate
+from .loop import Engine
+
+__all__ = [
+    "ParityReport",
+    "check_parity",
+    "parity_suite",
+    "default_parity_cells",
+    "COST_TOL",
+]
+
+#: cost tolerance of the parity contract (observed deltas are exactly 0.0)
+COST_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """The comparison of one streamed run against its batch twin."""
+
+    algorithm: str
+    workload: str
+    n_items: int
+    batch_cost: float
+    engine_cost: float
+    max_open_batch: int
+    max_open_engine: int
+    assignment_equal: bool
+    bins_equal: bool
+
+    @property
+    def cost_delta(self) -> float:
+        return abs(self.engine_cost - self.batch_cost)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.cost_delta <= COST_TOL
+            and self.max_open_batch == self.max_open_engine
+            and self.assignment_equal
+            and self.bins_equal
+        )
+
+    def __str__(self) -> str:
+        flag = "ok" if self.ok else "MISMATCH"
+        return (
+            f"[{flag}] {self.algorithm:20s} on {self.workload:24s} "
+            f"n={self.n_items:5d}  cost {self.batch_cost:.6g} vs "
+            f"{self.engine_cost:.6g} (Δ={self.cost_delta:.3g})  "
+            f"max_open {self.max_open_batch} vs {self.max_open_engine}"
+        )
+
+
+def check_parity(
+    algorithm_factory: Callable[[], object],
+    instance: Instance,
+    *,
+    capacity: float = 1.0,
+    workload: str = "instance",
+) -> ParityReport:
+    """Run batch and engine on fresh algorithm instances and compare."""
+    batch = simulate(algorithm_factory(), instance, capacity=capacity)
+    engine = Engine(algorithm_factory(), capacity=capacity, record=True)
+    summary = engine.run(iter(instance))
+    streamed = engine.result()
+    return ParityReport(
+        algorithm=batch.algorithm,
+        workload=workload,
+        n_items=len(instance),
+        batch_cost=batch.cost,
+        engine_cost=summary.cost,
+        max_open_batch=batch.max_open,
+        max_open_engine=summary.max_open,
+        assignment_equal=streamed.assignment == batch.assignment,
+        bins_equal=streamed.bins == batch.bins,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The default sweep: registry × generator families
+# ---------------------------------------------------------------------- #
+#: algorithms that accept arbitrary (non-aligned) inputs
+GENERAL_ALGORITHMS = (
+    "FirstFit",
+    "BestFit",
+    "WorstFit",
+    "LastFit",
+    "NextFit",
+    "HybridAlgorithm",
+    "ClassifyByDuration",
+    "LeastExpansion",
+)
+#: algorithms restricted to aligned inputs
+ALIGNED_ALGORITHMS = ("CDFF", "StaticRowsCDFF")
+
+
+def _general_workloads(seed: int) -> List[Tuple[str, Instance]]:
+    from ..workloads import (
+        batch_jobs,
+        cloud_gaming,
+        ff_trap,
+        poisson_random,
+        staircase,
+        uniform_random,
+    )
+
+    return [
+        (f"uniform_random(seed={seed})", uniform_random(120, 32, seed=seed)),
+        (
+            f"poisson_random(seed={seed})",
+            poisson_random(2.0, 16.0, 50.0, seed=seed),
+        ),
+        ("staircase(mu=64)", staircase(64.0)),
+        (f"cloud_gaming(seed={seed})", cloud_gaming(40.0, seed=seed)),
+        (f"batch_jobs(seed={seed})", batch_jobs(8, 8, seed=seed)),
+        ("ff_trap(mu=16)", ff_trap(16)),
+    ]
+
+
+def _aligned_workloads(seed: int) -> List[Tuple[str, Instance]]:
+    from ..workloads import aligned_random, binary_input
+
+    return [
+        ("binary_input(mu=64)", binary_input(64)),
+        (f"aligned_random(seed={seed})", aligned_random(32, 90, seed=seed)),
+    ]
+
+
+def default_parity_cells(
+    seed: int = 0,
+) -> List[Tuple[str, str, Instance]]:
+    """``(algorithm, workload, instance)`` cells of the default sweep."""
+    cells: List[Tuple[str, str, Instance]] = []
+    for name in GENERAL_ALGORITHMS:
+        for wname, inst in _general_workloads(seed):
+            cells.append((name, wname, inst))
+    for name in ALIGNED_ALGORITHMS:
+        for wname, inst in _aligned_workloads(seed):
+            cells.append((name, wname, inst))
+    return cells
+
+
+def parity_suite(
+    cells: Optional[Iterable[Tuple[str, str, Instance]]] = None,
+    *,
+    seed: int = 0,
+) -> List[ParityReport]:
+    """Run the parity sweep; returns one report per cell."""
+    from ..parallel import _registry
+
+    registry = _registry()
+    if cells is None:
+        cells = default_parity_cells(seed)
+    reports = []
+    for name, wname, inst in cells:
+        reports.append(
+            check_parity(registry[name], inst, workload=wname)
+        )
+    return reports

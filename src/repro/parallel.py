@@ -20,12 +20,21 @@ Example::
 
 from __future__ import annotations
 
+import pathlib
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from .core.instance import Instance
 
-__all__ = ["parallel_map", "ratio_task", "ALGORITHM_REGISTRY"]
+__all__ = [
+    "parallel_map",
+    "ratio_task",
+    "replay_task",
+    "replay_sharded",
+    "ALGORITHM_REGISTRY",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -36,20 +45,42 @@ def parallel_map(
     items: Sequence[T],
     *,
     workers: int = 1,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
     ``workers=1`` runs serially (no pool, exact tracebacks); ``workers>1``
     uses a process pool, requiring ``fn`` and the items to be picklable.
     Results are returned in input order either way.
+
+    ``chunksize`` defaults to ``max(1, len(items) // (4 * workers))`` —
+    large enough to amortise pickling, small enough to load-balance
+    uneven cells.
+
+    When the platform cannot start a process pool at all (sandboxed or
+    no-fork environments raise ``OSError``/``PermissionError`` at fork
+    time), the map **falls back to serial execution** with a warning
+    instead of crashing; sweeps then still complete, just without the
+    speedup.  Exceptions raised by ``fn`` itself are never swallowed.
     """
     if workers < 1:
         raise ValueError(f"workers must be ≥ 1, got {workers}")
+    items = list(items)
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * workers))
     if workers == 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, BrokenProcessPool, NotImplementedError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]
 
 
 def _registry() -> dict:
@@ -102,3 +133,53 @@ def ratio_task(cell: tuple[str, Instance]) -> float:
     result = simulate(registry[name](), instance)
     opt = opt_reference(instance, max_exact=16)
     return result.cost / opt.lower if opt.lower > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------- #
+# Sharded streaming replay (the engine's multi-worker entry point)
+# ---------------------------------------------------------------------- #
+def replay_task(cell: tuple[str, str]) -> dict:
+    """Picklable work item: ``(algorithm name, trace path) → summary dict``.
+
+    Streams the trace file through a fresh
+    :class:`~repro.engine.loop.Engine` in constant memory; the returned
+    dict is :meth:`~repro.engine.loop.EngineSummary.to_dict`.
+    """
+    name, path = cell
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {ALGORITHM_REGISTRY}"
+        )
+    from .engine import Engine, open_trace
+
+    return Engine(registry[name]()).run(open_trace(path)).to_dict()
+
+
+def replay_sharded(
+    paths: Sequence[Union[str, pathlib.Path]],
+    algorithm: str = "HybridAlgorithm",
+    *,
+    workers: int = 1,
+) -> dict:
+    """Replay many trace shards, one independent engine per shard.
+
+    Each shard is packed in isolation (its own algorithm instance and
+    bins), so the aggregate cost is the sum over shards — the standard
+    scale-out regime where traffic is partitioned across machines.  Use
+    :func:`repro.engine.stream.merge` instead when shards must share
+    bins.
+
+    Returns the aggregated totals plus the per-shard summaries.
+    """
+    cells = [(algorithm, str(p)) for p in paths]
+    shards = parallel_map(replay_task, cells, workers=workers)
+    return {
+        "algorithm": algorithm,
+        "shards": shards,
+        "n_shards": len(shards),
+        "items": sum(s["items"] for s in shards),
+        "cost": sum(s["cost"] for s in shards),
+        "bins_opened": sum(s["bins_opened"] for s in shards),
+        "max_open": sum(s["max_open"] for s in shards),
+    }

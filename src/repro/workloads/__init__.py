@@ -10,7 +10,17 @@ from .adversarial import (
 from .aligned import aligned_random, binary_input
 from .cloud import batch_jobs, bounded_parallelism, cloud_gaming
 from .combinators import overlay, periodic, perturb_sizes, thin, truncate
-from .io import dumps_csv, load_csv, loads_csv, save_csv
+from .io import (
+    dump_jsonl,
+    dumps_csv,
+    dumps_jsonl,
+    iter_jsonl,
+    load_csv,
+    load_jsonl,
+    loads_csv,
+    loads_jsonl,
+    save_csv,
+)
 from .random_general import poisson_random, staircase, uniform_random
 
 __all__ = [
@@ -31,6 +41,11 @@ __all__ = [
     "load_csv",
     "dumps_csv",
     "loads_csv",
+    "dump_jsonl",
+    "load_jsonl",
+    "dumps_jsonl",
+    "loads_jsonl",
+    "iter_jsonl",
     "overlay",
     "periodic",
     "perturb_sizes",

@@ -1,27 +1,50 @@
-"""Instance serialisation: CSV save/load and trace replay.
+"""Instance serialisation: CSV and JSONL save/load, plus trace streaming.
 
 A downstream user's traces arrive as files; this module round-trips
-instances through a simple CSV format::
+instances through two formats:
 
-    arrival,departure,size
-    0.0,4.0,0.5
-    ...
+- CSV with a fixed header::
 
-Rows are re-sorted by arrival on load (stable, preserving file order for
-ties — the simultaneous-arrival order is part of the input's semantics).
+      arrival,departure,size
+      0.0,4.0,0.5
+
+- JSON Lines, one object per item (the streaming engine's native
+  format — ``repro.engine.stream.iter_jsonl`` replays these files in
+  constant memory)::
+
+      {"arrival": 0.0, "departure": 4.0, "size": 0.5}
+
+Rows are re-sorted by arrival on (whole-file) load — stable, preserving
+file order for ties, since the simultaneous-arrival order is part of the
+input's semantics.  :func:`iter_jsonl` does **not** sort: it yields items
+in file order so that traces never need to fit in RAM; writers are
+expected to emit arrival-ordered lines (both :func:`dump_jsonl` and the
+generators do).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 import pathlib
-from typing import Union
+from typing import Iterator, Union
 
 from ..core.errors import InvalidInstanceError
 from ..core.instance import Instance
+from ..core.item import Item
 
-__all__ = ["save_csv", "load_csv", "dumps_csv", "loads_csv"]
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "dumps_csv",
+    "loads_csv",
+    "dump_jsonl",
+    "load_jsonl",
+    "dumps_jsonl",
+    "loads_jsonl",
+    "iter_jsonl",
+]
 
 _HEADER = ["arrival", "departure", "size"]
 
@@ -68,3 +91,86 @@ def save_csv(instance: Instance, path: Union[str, pathlib.Path]) -> None:
 def load_csv(path: Union[str, pathlib.Path]) -> Instance:
     """Read an instance from a CSV file."""
     return loads_csv(pathlib.Path(path).read_text())
+
+
+# ---------------------------------------------------------------------- #
+# JSON Lines
+# ---------------------------------------------------------------------- #
+def _item_to_obj(it: Item) -> dict:
+    return {"arrival": it.arrival, "departure": it.departure, "size": it.size}
+
+
+def _obj_to_item(obj: dict, lineno: int, uid: int) -> Item:
+    if not isinstance(obj, dict):
+        raise InvalidInstanceError(
+            f"line {lineno}: expected a JSON object, got {type(obj).__name__}"
+        )
+    try:
+        arrival = float(obj["arrival"])
+        departure = obj["departure"]
+        size = float(obj["size"])
+    except KeyError as exc:
+        raise InvalidInstanceError(
+            f"line {lineno}: missing field {exc.args[0]!r}"
+        ) from exc
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
+    if departure is not None:
+        departure = float(departure)
+    return Item(arrival, departure, size, uid=uid)
+
+
+def dumps_jsonl(instance: Instance) -> str:
+    """The instance as JSON Lines text (one object per item)."""
+    return "".join(json.dumps(_item_to_obj(it)) + "\n" for it in instance)
+
+
+def loads_jsonl(text: str) -> Instance:
+    """Parse JSON Lines text into an :class:`Instance` (re-sorted, stable)."""
+    items = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
+        items.append(_obj_to_item(obj, lineno, uid=len(items)))
+    items.sort(key=lambda it: it.arrival)
+    return Instance(items)
+
+
+def dump_jsonl(instance: Instance, path: Union[str, pathlib.Path]) -> None:
+    """Write the instance to ``path`` as JSON Lines."""
+    with pathlib.Path(path).open("w") as fh:
+        for it in instance:
+            fh.write(json.dumps(_item_to_obj(it)) + "\n")
+
+
+def load_jsonl(path: Union[str, pathlib.Path]) -> Instance:
+    """Read an instance from a JSON Lines file."""
+    return loads_jsonl(pathlib.Path(path).read_text())
+
+
+def iter_jsonl(path: Union[str, pathlib.Path]) -> Iterator[Item]:
+    """Stream items from a JSON Lines file in **file order**, lazily.
+
+    Memory stays constant in the trace length — this is what
+    ``repro-dbp replay`` and the streaming engine consume.  Items get
+    sequential uids in file order, which coincides with
+    :class:`Instance` uids whenever the file is arrival-sorted (as
+    :func:`dump_jsonl` output always is).
+    """
+    with pathlib.Path(path).open() as fh:
+        uid = 0
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
+            yield _obj_to_item(obj, lineno, uid=uid)
+            uid += 1

@@ -1,0 +1,124 @@
+"""Checkpoint/restore: a resumed run must be indistinguishable from an
+uninterrupted one — same final cost, bins, and assignment."""
+
+import pytest
+
+from repro.algorithms import CDFF, FirstFit, HybridAlgorithm, NextFit
+from repro.core.errors import SimulationError
+from repro.core.simulation import simulate
+from repro.engine import (
+    Checkpoint,
+    Engine,
+    EngineMetrics,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from repro.workloads import binary_input, uniform_random
+
+
+@pytest.mark.parametrize(
+    "factory,instance",
+    [
+        (FirstFit, uniform_random(150, 32, seed=5)),
+        (HybridAlgorithm, uniform_random(150, 32, seed=6)),
+        (NextFit, uniform_random(100, 16, seed=7)),
+        (CDFF, binary_input(128)),
+    ],
+    ids=["FirstFit", "HybridAlgorithm", "NextFit", "CDFF"],
+)
+@pytest.mark.parametrize("cut", [0.25, 0.5, 0.9])
+def test_restore_reaches_identical_final_cost(factory, instance, cut):
+    batch = simulate(factory(), instance)
+    items = list(instance)
+    k = max(1, int(len(items) * cut))
+
+    eng = Engine(factory(), record=True)
+    for it in items[:k]:
+        eng.feed(it)
+    ckpt = snapshot(eng)
+    assert ckpt.arrivals == k
+
+    resumed = restore(ckpt)
+    for it in items[k:]:
+        resumed.feed(it)
+    summary = resumed.finish()
+    assert summary.cost == batch.cost
+    assert summary.max_open == batch.max_open
+    assert resumed.result().assignment == batch.assignment
+    assert resumed.result().bins == batch.bins
+
+
+def test_snapshot_is_independent_of_live_engine():
+    items = list(uniform_random(120, 16, seed=8))
+    eng = Engine(HybridAlgorithm())
+    for it in items[:60]:
+        eng.feed(it)
+    ckpt = snapshot(eng)
+    # keep driving the original — must not corrupt the snapshot
+    for it in items[60:]:
+        eng.feed(it)
+    s_live = eng.finish()
+
+    resumed = restore(ckpt)
+    for it in items[60:]:
+        resumed.feed(it)
+    s_resumed = resumed.finish()
+    assert s_resumed.cost == s_live.cost
+    assert s_resumed.bins_opened == s_live.bins_opened
+
+
+def test_file_round_trip(tmp_path):
+    items = list(uniform_random(80, 8, seed=9))
+    eng = Engine(FirstFit(), metrics=EngineMetrics())
+    for it in items[:40]:
+        eng.feed(it)
+    path = tmp_path / "engine.ckpt"
+    ckpt = save_checkpoint(eng, path)
+    assert path.exists() and ckpt.arrivals == 40
+
+    resumed = load_checkpoint(path)
+    assert resumed.metrics is not None  # metrics travel with the blob
+    assert resumed.metrics.arrivals.value == 40
+    for it in items[40:]:
+        resumed.feed(it)
+    assert resumed.finish().cost == simulate(FirstFit(),
+        uniform_random(80, 8, seed=9)).cost
+
+
+def test_checkpoint_metadata():
+    items = list(uniform_random(50, 8, seed=10))
+    eng = Engine(FirstFit())
+    for it in items[:25]:
+        eng.feed(it)
+    ckpt = snapshot(eng)
+    assert ckpt.time == eng.time
+    assert ckpt.cost_so_far == pytest.approx(eng.cost_so_far)
+    assert ckpt.version == 1
+
+
+def test_reject_wrong_payload(tmp_path):
+    import pickle
+
+    path = tmp_path / "bogus.ckpt"
+    path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+    with pytest.raises(SimulationError):
+        load_checkpoint(path)
+
+
+def test_reject_future_version():
+    ckpt = Checkpoint(
+        version=99, arrivals=0, time=0.0, cost_so_far=0.0, blob=b""
+    )
+    with pytest.raises(SimulationError):
+        Checkpoint.loads(ckpt.dumps())
+
+
+def test_observers_not_checkpointed():
+    eng = Engine(FirstFit())
+    eng.subscribe(lambda e: None)
+    for it in list(uniform_random(20, 4, seed=11))[:10]:
+        eng.feed(it)
+    resumed = restore(snapshot(eng))
+    assert resumed._observers == []

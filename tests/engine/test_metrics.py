@@ -1,0 +1,123 @@
+"""Metrics layer: counters, histograms, timings, sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import FirstFit
+from repro.engine import (
+    CallbackSink,
+    ConsoleSink,
+    Counter,
+    Engine,
+    EngineMetrics,
+    Histogram,
+    JSONLSink,
+    JSONSink,
+    Timing,
+)
+from repro.workloads import uniform_random
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_histogram_buckets(self):
+        h = Histogram((1, 2, 5))
+        for x in (0.5, 1.0, 1.5, 3.0, 10.0):
+            h.observe(x)
+        snap = h.to_dict()
+        assert snap["total"] == 5
+        assert snap["buckets"]["<= 1"] == 2  # 0.5 and 1.0 (right-closed)
+        assert snap["buckets"]["(1, 2]"] == 1
+        assert snap["buckets"]["(2, 5]"] == 1
+        assert snap["buckets"]["> 5"] == 1
+        assert h.mean == pytest.approx((0.5 + 1 + 1.5 + 3 + 10) / 5)
+
+    def test_histogram_needs_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_timing(self):
+        t = Timing()
+        t.observe(0.5)
+        t.observe(1.5)
+        snap = t.to_dict()
+        assert snap["count"] == 2
+        assert snap["total_s"] == pytest.approx(2.0)
+        assert snap["min_us"] == pytest.approx(5e5)
+        assert snap["max_us"] == pytest.approx(1.5e6)
+
+
+class TestEngineMetrics:
+    def run_engine(self):
+        metrics = EngineMetrics()
+        inst = uniform_random(100, 16, seed=13)
+        Engine(FirstFit(), metrics=metrics).run(iter(inst))
+        return metrics, inst
+
+    def test_counters_match_run(self):
+        metrics, inst = self.run_engine()
+        assert metrics.arrivals.value == len(inst)
+        assert metrics.departures.value == len(inst)
+        assert metrics.events.value == 2 * len(inst)
+        assert metrics.bins_opened.value == metrics.bins_closed.value
+        assert metrics.bins_opened.value > 0
+
+    def test_histograms_cover_all_bins(self):
+        metrics, _ = self.run_engine()
+        assert metrics.bin_occupancy.total == metrics.bins_closed.value
+        assert metrics.bin_utilization.total == metrics.bins_closed.value
+        assert metrics.bin_lifetime.total == metrics.bins_closed.value
+        # utilisation is a fraction of capacity: nothing above 1.0
+        assert metrics.bin_utilization.to_dict()["buckets"]["> 1"] == 0
+
+    def test_latency_timings_populated(self):
+        metrics, inst = self.run_engine()
+        assert metrics.arrival_latency.count == len(inst)
+        assert metrics.departure_latency.count == len(inst)
+        assert metrics.arrival_latency.total > 0
+
+    def test_snapshot_shape(self):
+        metrics, _ = self.run_engine()
+        snap = metrics.snapshot(extra={"run": "test"})
+        assert set(snap) == {"counters", "histograms", "timings", "run"}
+        json.dumps(snap)  # JSON-serialisable end to end
+
+
+class TestSinks:
+    def test_json_sink(self, tmp_path):
+        path = tmp_path / "m.json"
+        EngineMetrics().flush(JSONSink(path))
+        assert json.loads(path.read_text())["counters"]["events"] == 0
+
+    def test_jsonl_sink_appends(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        m = EngineMetrics()
+        m.flush(JSONLSink(path))
+        m.events.inc()
+        m.flush(JSONLSink(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["counters"]["events"] == 1
+
+    def test_console_sink(self):
+        buf = io.StringIO()
+        EngineMetrics().flush(ConsoleSink(buf))
+        assert "counters" in buf.getvalue()
+
+    def test_callback_sink_and_multi_flush(self):
+        seen = []
+        m = EngineMetrics()
+        m.flush([CallbackSink(seen.append), CallbackSink(seen.append)])
+        assert len(seen) == 2 and seen[0] == seen[1]
+
+    def test_flush_accepts_single_sink(self):
+        seen = []
+        EngineMetrics().flush(CallbackSink(seen.append))
+        assert len(seen) == 1

@@ -1,0 +1,107 @@
+"""Tests for the `repro-dbp replay` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import dump_jsonl, save_csv, uniform_random
+
+
+@pytest.fixture
+def instance():
+    return uniform_random(200, 16, seed=0)
+
+
+@pytest.fixture
+def jsonl_path(tmp_path, instance):
+    path = tmp_path / "trace.jsonl"
+    dump_jsonl(instance, path)
+    return str(path)
+
+
+@pytest.fixture
+def csv_path(tmp_path, instance):
+    path = tmp_path / "trace.csv"
+    save_csv(instance, path)
+    return str(path)
+
+
+class TestReplay:
+    def test_basic(self, jsonl_path, capsys):
+        assert main(["replay", jsonl_path, "-a", "FirstFit"]) == 0
+        out = capsys.readouterr().out
+        assert "FirstFit: cost=" in out
+        assert "200 items replayed" in out
+
+    def test_matches_pack_cost(self, jsonl_path, csv_path, capsys):
+        assert main(["replay", jsonl_path, "-a", "FirstFit"]) == 0
+        replay_out = capsys.readouterr().out
+        assert main(["pack", csv_path, "-a", "FirstFit"]) == 0
+        pack_out = capsys.readouterr().out
+        cost = [l for l in replay_out.splitlines() if "cost=" in l][0]
+        cost = cost.split("cost=")[1].split()[0]
+        assert f"cost={cost}" in pack_out
+
+    def test_csv_trace(self, csv_path, capsys):
+        assert main(["replay", csv_path]) == 0
+        assert "HybridAlgorithm" in capsys.readouterr().out
+
+    def test_verify(self, jsonl_path, capsys):
+        assert main(["replay", jsonl_path, "--verify"]) == 0
+        assert "parity vs simulate(): Δcost=0" in capsys.readouterr().out
+
+    def test_limit(self, jsonl_path, capsys):
+        assert main(["replay", jsonl_path, "--limit", "50"]) == 0
+        assert "50 items replayed" in capsys.readouterr().out
+
+    def test_metrics_written(self, jsonl_path, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["replay", jsonl_path, "--metrics", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert snap["counters"]["arrivals"] == 200
+        assert snap["cost"] > 0  # summary travels in the snapshot
+
+    def test_unknown_algorithm(self, jsonl_path, capsys):
+        assert main(["replay", jsonl_path, "-a", "Nope"]) == 1
+
+    def test_checkpoint_and_resume_identical_cost(
+        self, jsonl_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "engine.ckpt"
+        assert (
+            main(
+                [
+                    "replay", jsonl_path, "-a", "HybridAlgorithm",
+                    "--checkpoint-every", "75", "--checkpoint", str(ckpt),
+                ]
+            )
+            == 0
+        )
+        full_out = capsys.readouterr().out
+        assert ckpt.exists()
+        assert (
+            main(
+                ["replay", jsonl_path, "-a", "HybridAlgorithm",
+                 "--resume", str(ckpt)]
+            )
+            == 0
+        )
+        resume_out = capsys.readouterr().out
+        assert "resumed from" in resume_out
+        cost_line = [l for l in full_out.splitlines() if "cost=" in l][0]
+        assert cost_line in resume_out  # bit-identical summary line
+
+    def test_resume_verify_needs_recording_checkpoint(
+        self, jsonl_path, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "engine.ckpt"
+        main(
+            ["replay", jsonl_path, "--checkpoint-every", "100",
+             "--checkpoint", str(ckpt)]
+        )
+        capsys.readouterr()
+        assert (
+            main(["replay", jsonl_path, "--resume", str(ckpt), "--verify"])
+            == 1
+        )

@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.parallel import ALGORITHM_REGISTRY, parallel_map, ratio_task
+from repro.parallel import (
+    ALGORITHM_REGISTRY,
+    parallel_map,
+    ratio_task,
+    replay_sharded,
+    replay_task,
+)
 from repro.workloads.random_general import uniform_random
 
 
@@ -27,6 +33,35 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(square, []) == []
+
+    def test_serial_fallback_when_pool_unavailable(self, monkeypatch):
+        """Sandboxed/no-fork environments must degrade, not crash."""
+
+        def broken_pool(*args, **kwargs):
+            raise PermissionError("fork blocked by sandbox")
+
+        monkeypatch.setattr(
+            "repro.parallel.ProcessPoolExecutor", broken_pool
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            out = parallel_map(square, [1, 2, 3], workers=4)
+        assert out == [1, 4, 9]
+
+    def test_fn_errors_not_swallowed(self):
+        def boom(x):
+            raise ValueError("from fn")
+
+        with pytest.raises(ValueError, match="from fn"):
+            parallel_map(boom, [1], workers=1)
+
+    def test_default_chunksize(self):
+        # 100 items / (4 * 2 workers) = 12; just exercise the path
+        assert parallel_map(square, list(range(100)), workers=2) == [
+            x * x for x in range(100)
+        ]
+
+    def test_accepts_iterables(self):
+        assert parallel_map(square, iter([1, 2, 3])) == [1, 4, 9]
 
 
 class TestRatioTask:
@@ -55,3 +90,47 @@ class TestRatioTask:
         assert all(
             math.isclose(a, b, rel_tol=1e-12) for a, b in zip(serial, par)
         )
+
+
+class TestShardedReplay:
+    @pytest.fixture
+    def shards(self, tmp_path):
+        from repro.workloads import dump_jsonl
+
+        paths = []
+        for s in (0, 1, 2):
+            path = tmp_path / f"shard{s}.jsonl"
+            dump_jsonl(uniform_random(40, 8, seed=s), path)
+            paths.append(path)
+        return paths
+
+    def test_replay_task(self, shards):
+        from repro.core.simulation import simulate
+        from repro.parallel import _registry
+        from repro.workloads import load_jsonl
+
+        summary = replay_task(("FirstFit", str(shards[0])))
+        batch = simulate(_registry()["FirstFit"](), load_jsonl(shards[0]))
+        assert summary["cost"] == batch.cost
+        assert summary["items"] == 40
+
+    def test_replay_task_unknown_algorithm(self, shards):
+        with pytest.raises(KeyError):
+            replay_task(("Nope", str(shards[0])))
+
+    def test_sharded_aggregates(self, shards):
+        agg = replay_sharded(shards, "FirstFit", workers=1)
+        assert agg["n_shards"] == 3
+        assert agg["items"] == 120
+        assert agg["cost"] == pytest.approx(
+            sum(s["cost"] for s in agg["shards"])
+        )
+        assert agg["cost"] == pytest.approx(
+            sum(replay_task(("FirstFit", str(p)))["cost"] for p in shards)
+        )
+
+    def test_sharded_parallel_equals_serial(self, shards):
+        serial = replay_sharded(shards, "HybridAlgorithm", workers=1)
+        par = replay_sharded(shards, "HybridAlgorithm", workers=2)
+        assert serial["cost"] == pytest.approx(par["cost"], rel=1e-12)
+        assert serial["max_open"] == par["max_open"]

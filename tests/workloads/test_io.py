@@ -1,10 +1,22 @@
-"""Unit tests for instance CSV I/O."""
+"""Unit tests for instance CSV and JSONL I/O."""
+
+import json
 
 import pytest
 
 from repro.core.errors import InvalidInstanceError
 from repro.core.instance import Instance
-from repro.workloads.io import dumps_csv, load_csv, loads_csv, save_csv
+from repro.workloads.io import (
+    dump_jsonl,
+    dumps_csv,
+    dumps_jsonl,
+    iter_jsonl,
+    load_csv,
+    load_jsonl,
+    loads_csv,
+    loads_jsonl,
+    save_csv,
+)
 
 
 class TestRoundTrip:
@@ -34,6 +46,100 @@ class TestRoundTrip:
         inst = Instance.from_tuples([(0, 1, 0.1), (0, 2, 0.2), (0, 3, 0.3)])
         back = loads_csv(dumps_csv(inst))
         assert [it.size for it in back] == [0.1, 0.2, 0.3]
+
+
+class TestJsonlRoundTrip:
+    def test_simple(self, tiny_instance):
+        assert loads_jsonl(dumps_jsonl(tiny_instance)) == tiny_instance
+
+    def test_file_round_trip(self, tmp_path, tiny_instance):
+        path = tmp_path / "inst.jsonl"
+        dump_jsonl(tiny_instance, path)
+        assert load_jsonl(path) == tiny_instance
+
+    def test_empty(self):
+        assert loads_jsonl(dumps_jsonl(Instance([]))) == Instance([])
+
+    def test_float_exactness(self):
+        inst = Instance.from_tuples([(0.1, 0.30000000000000004, 1 / 3)])
+        assert loads_jsonl(dumps_jsonl(inst)) == inst
+
+    def test_random_instances(self):
+        from repro.workloads.random_general import uniform_random
+
+        for seed in range(3):
+            inst = uniform_random(60, 16, seed=seed)
+            assert loads_jsonl(dumps_jsonl(inst)) == inst
+
+    def test_tie_order_preserved(self):
+        inst = Instance.from_tuples([(0, 1, 0.1), (0, 2, 0.2), (0, 3, 0.3)])
+        back = loads_jsonl(dumps_jsonl(inst))
+        assert [it.size for it in back] == [0.1, 0.2, 0.3]
+
+    def test_one_object_per_line(self, tiny_instance):
+        lines = dumps_jsonl(tiny_instance).splitlines()
+        assert len(lines) == len(tiny_instance)
+        obj = json.loads(lines[0])
+        assert set(obj) == {"arrival", "departure", "size"}
+
+    def test_blank_lines_ignored(self, tiny_instance):
+        text = dumps_jsonl(tiny_instance).replace("\n", "\n\n")
+        assert loads_jsonl(text) == tiny_instance
+
+    def test_csv_jsonl_agree(self, tiny_instance):
+        assert loads_jsonl(dumps_jsonl(tiny_instance)) == loads_csv(
+            dumps_csv(tiny_instance)
+        )
+
+
+class TestIterJsonl:
+    def test_streaming_matches_load(self, tmp_path):
+        from repro.workloads.random_general import uniform_random
+
+        inst = uniform_random(50, 8, seed=1)
+        path = tmp_path / "t.jsonl"
+        dump_jsonl(inst, path)
+        assert list(iter_jsonl(path)) == list(load_jsonl(path))
+
+    def test_file_order_not_sorted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"arrival": 5.0, "departure": 6.0, "size": 0.5}\n'
+            '{"arrival": 1.0, "departure": 2.0, "size": 0.5}\n'
+        )
+        arrivals = [it.arrival for it in iter_jsonl(path)]
+        assert arrivals == [5.0, 1.0]  # streaming never reorders
+
+    def test_uids_sequential(self, tmp_path, tiny_instance):
+        path = tmp_path / "t.jsonl"
+        dump_jsonl(tiny_instance, path)
+        assert [it.uid for it in iter_jsonl(path)] == list(
+            range(len(tiny_instance))
+        )
+
+
+class TestJsonlErrors:
+    def test_bad_json(self):
+        with pytest.raises(InvalidInstanceError, match="line 1"):
+            loads_jsonl("{not json}\n")
+
+    def test_missing_field(self):
+        with pytest.raises(InvalidInstanceError, match="size"):
+            loads_jsonl('{"arrival": 0.0, "departure": 1.0}\n')
+
+    def test_non_object_line(self):
+        with pytest.raises(InvalidInstanceError, match="line 1"):
+            loads_jsonl("[1, 2, 0.5]\n")
+
+    def test_non_numeric(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_jsonl('{"arrival": 0.0, "departure": 1.0, "size": "big"}\n')
+
+    def test_iter_jsonl_bad_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"arrival": 0.0, "departure": 1.0, "size": 0.5}\nnope\n')
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            list(iter_jsonl(path))
 
 
 class TestErrors:
