@@ -54,6 +54,7 @@ from .core import (
     Item,
     LoadProfile,
     PackingResult,
+    PlacementKernel,
     ReproError,
     audit,
     load_profile,
@@ -113,6 +114,7 @@ __all__ = [
     "LoadProfile",
     "load_profile",
     "PackingResult",
+    "PlacementKernel",
     "IncrementalSimulation",
     "simulate",
     "audit",

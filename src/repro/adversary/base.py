@@ -5,10 +5,14 @@ runs, reacting to the algorithm's observable state (its open bins).  This
 is exactly the model behind the paper's lower bound (Theorem 4.3): "release
 a prefix of σ*_t and stop as soon as ON opens √log μ bins".
 
-Adversaries drive an :class:`~repro.core.simulation.IncrementalSimulation`
-directly and return an :class:`AdversaryOutcome` bundling the algorithm's
-audited result with the instance the adversary ended up generating, so the
-experiments can feed that same instance to the offline oracles.
+Adversaries drive a recording :class:`~repro.core.kernel.PlacementKernel`
+directly — the same kernel behind both the batch simulator and the
+streaming engine, exposing the full
+:class:`~repro.algorithms.base.SimulationView` surface plus
+``release``/``depart``/``run_until`` — and return an
+:class:`AdversaryOutcome` bundling the algorithm's audited result with the
+instance the adversary ended up generating, so the experiments can feed
+that same instance to the offline oracles.
 """
 
 from __future__ import annotations
@@ -63,9 +67,9 @@ class AdaptiveAdversary(ABC):
     def run(self, algorithm, *, capacity: float = 1.0, verify: bool = True
             ) -> AdversaryOutcome:
         """Play against ``algorithm`` and return the audited outcome."""
-        from ..core.simulation import IncrementalSimulation
+        from ..core.kernel import PlacementKernel
 
-        sim = IncrementalSimulation(algorithm, capacity=capacity)
+        sim = PlacementKernel(algorithm, capacity=capacity, record=True)
         self.drive(sim)
         result = sim.finish()
         if verify:

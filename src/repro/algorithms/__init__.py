@@ -16,6 +16,7 @@ from .anyfit import (
 )
 from .base import (
     OnlineAlgorithm,
+    SimulationView,
     duration_class,
     first_fit_choice,
     item_type,
@@ -28,6 +29,7 @@ from .hybrid import CD_TAG, GN_TAG, HybridAlgorithm, sqrt_threshold
 
 __all__ = [
     "OnlineAlgorithm",
+    "SimulationView",
     "duration_class",
     "item_type",
     "type_departure_deadline",

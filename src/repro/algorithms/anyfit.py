@@ -64,11 +64,25 @@ def LAST_FIT(candidates: Sequence[Bin], item: Item) -> Bin:
     return candidates[-1]
 
 
+# The four classical rules have O(log n) equivalents on the kernel's
+# open-bin index; AnyFit dispatches to them through this attribute.
+FIRST_FIT.indexed_query = "first_fit"
+BEST_FIT.indexed_query = "best_fit"
+WORST_FIT.indexed_query = "worst_fit"
+LAST_FIT.indexed_query = "last_fit"
+
+
 class AnyFit(OnlineAlgorithm):
     """Place each item by ``rule`` over all open bins that fit it.
 
     Opens a new bin only when no open bin fits — the defining Any-Fit
     property.
+
+    The four classical rules carry an ``indexed_query`` attribute naming
+    the equivalent :class:`~repro.algorithms.base.SimulationView`
+    candidate query, which the placement kernel answers from its
+    residual-sorted open-bin index in O(log n); custom rules (and sims
+    without the query surface) fall back to the linear candidate scan.
     """
 
     def __init__(
@@ -81,8 +95,17 @@ class AnyFit(OnlineAlgorithm):
         self.rule = rule
         self.name = name or f"AnyFit[{getattr(rule, '__name__', 'custom')}]"
         self.clairvoyant = clairvoyant
+        self._query = getattr(rule, "indexed_query", None)
 
     def place(self, item: Item, sim) -> Bin:
+        query = self._query
+        if query is not None:
+            lookup = getattr(sim, query, None)
+            if lookup is not None:
+                found = lookup(item)
+                if found is not None:
+                    return found
+                return sim.open_bin(tag="anyfit")
         candidates = [b for b in sim.open_bins if b.fits(item)]
         if candidates:
             return self.rule(candidates, item)
@@ -133,9 +156,14 @@ class NextFit(OnlineAlgorithm):
 
     def place(self, item: Item, sim) -> Bin:
         active = self._active
-        if active is not None and active.uid in {b.uid for b in sim.open_bins} \
-                and active.fits(item):
-            return active
+        if active is not None and active.fits(item):
+            is_open = getattr(sim, "is_open", None)
+            if (
+                is_open(active.uid)
+                if is_open is not None
+                else active.uid in {b.uid for b in sim.open_bins}
+            ):
+                return active
         self._active = sim.open_bin(tag="nextfit")
         return self._active
 

@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Hashable, Optional, Sequence
+from typing import (
+    Hashable,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..core.bins import Bin
 from ..core.errors import InvalidItemError
@@ -24,11 +30,90 @@ from ..core.item import Item
 
 __all__ = [
     "OnlineAlgorithm",
+    "SimulationView",
     "duration_class",
     "item_type",
     "type_departure_deadline",
     "first_fit_choice",
 ]
+
+
+@runtime_checkable
+class SimulationView(Protocol):
+    """The facade every frontend hands to ``place()`` and the notify hooks.
+
+    This is the formal contract between algorithms/adversaries and the
+    simulation they run inside.  Three objects satisfy it — the
+    :class:`~repro.core.kernel.PlacementKernel` itself (adversaries drive
+    it directly), the batch
+    :class:`~repro.core.simulation.IncrementalSimulation`, and the
+    streaming :class:`~repro.engine.loop.Engine` — and because the latter
+    two are thin adapters over the former, every method has exactly one
+    implementation of its semantics.
+
+    The candidate queries (:meth:`first_fit` … :meth:`fitting_bins`)
+    mirror the classical Any-Fit rules and run in O(log n) via the
+    kernel's open-bin index; algorithms with bespoke selection logic can
+    still scan :attr:`open_bins` directly.
+    """
+
+    @property
+    def time(self) -> float:
+        """The simulation clock (``-inf`` before the first event)."""
+        ...
+
+    @property
+    def capacity(self) -> float:
+        """Bin capacity (1.0 in the paper)."""
+        ...
+
+    @property
+    def algorithm(self):
+        """The online algorithm this simulation is driving."""
+        ...
+
+    @property
+    def open_bins(self) -> tuple[Bin, ...]:
+        """Currently open bins, oldest first (first-fit order)."""
+        ...
+
+    @property
+    def open_bin_count(self) -> int:
+        """Number of currently open bins (O(1))."""
+        ...
+
+    @property
+    def cost_so_far(self) -> float:
+        """Accumulated usage time up to the current clock (O(1))."""
+        ...
+
+    def open_bin(self, tag: Hashable = None) -> Bin:
+        """Open a fresh bin (inside ``place()`` only; one per placement)."""
+        ...
+
+    def is_open(self, uid: int) -> bool:
+        """Whether bin ``uid`` is currently open (O(1))."""
+        ...
+
+    def first_fit(self, item: Item) -> Optional[Bin]:
+        """Earliest-opened open bin that fits ``item``, else ``None``."""
+        ...
+
+    def best_fit(self, item: Item) -> Optional[Bin]:
+        """Fullest fitting bin (ties earliest-opened), else ``None``."""
+        ...
+
+    def worst_fit(self, item: Item) -> Optional[Bin]:
+        """Emptiest fitting bin (ties earliest-opened), else ``None``."""
+        ...
+
+    def last_fit(self, item: Item) -> Optional[Bin]:
+        """Latest-opened open bin that fits ``item``, else ``None``."""
+        ...
+
+    def fitting_bins(self, item: Item) -> list[Bin]:
+        """All open bins that fit ``item``, oldest first."""
+        ...
 
 
 def duration_class(length: float, *, min_class: int = 1) -> int:
@@ -79,13 +164,14 @@ class OnlineAlgorithm(ABC):
         """Clear private state; called once before a simulation starts."""
 
     @abstractmethod
-    def place(self, item: Item, sim) -> Bin:
+    def place(self, item: Item, sim: "SimulationView") -> Bin:
         """Choose the bin for ``item``.
 
-        ``sim`` is the running
-        :class:`~repro.core.simulation.IncrementalSimulation`; use
-        ``sim.open_bins`` to inspect open bins and ``sim.open_bin(tag)`` to
-        open a new one.  Must return the chosen bin.
+        ``sim`` satisfies the :class:`SimulationView` protocol (the
+        placement kernel or one of its frontends); use ``sim.open_bins``
+        (or the indexed ``sim.first_fit``/``best_fit``/… queries) to
+        inspect open bins and ``sim.open_bin(tag)`` to open a new one.
+        Must return the chosen bin.
         """
 
     def notify_departure(self, item: Item, bin_: Bin, sim) -> None:

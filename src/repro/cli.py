@@ -109,6 +109,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     packp.add_argument("--capacity", type=float, default=1.0)
     packp.add_argument(
+        "--no-index", action="store_true",
+        help="disable the kernel's O(log n) open-bin index "
+        "(linear-scan placement queries)",
+    )
+    packp.add_argument(
         "--render", action="store_true", help="draw the packing (ASCII)"
     )
     packp.add_argument(
@@ -131,6 +136,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="algorithm name (see `pack --list-algorithms`)",
     )
     replayp.add_argument("--capacity", type=float, default=1.0)
+    replayp.add_argument(
+        "--no-index", action="store_true",
+        help="disable the kernel's O(log n) open-bin index "
+        "(linear-scan placement queries)",
+    )
     replayp.add_argument(
         "--format", choices=("auto", "jsonl", "csv"), default="auto",
         help="trace format (default: infer from extension)",
@@ -216,7 +226,7 @@ def _pack(args) -> int:
 
     instance = load_csv(args.csv)
     result = simulate(registry[args.algorithm](), instance,
-                      capacity=args.capacity)
+                      capacity=args.capacity, indexed=not args.no_index)
     audit(result)
     st = instance.stats
     print(
@@ -284,6 +294,7 @@ def _replay(args) -> int:
             capacity=args.capacity,
             metrics=metrics,
             record=args.verify,
+            indexed=not args.no_index,
         )
         skip = 0
 

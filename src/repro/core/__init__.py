@@ -1,7 +1,11 @@
-"""Core substrate: items, instances, load profiles, bins, the simulator.
+"""Core substrate: items, instances, load profiles, bins, the kernel.
 
 Everything above this package (algorithms, adversaries, offline oracles,
-experiments) is built on these primitives.
+experiments, the streaming engine) is built on these primitives.  The
+single source of simulation semantics is
+:class:`~repro.core.kernel.PlacementKernel`; ``simulate`` and
+``IncrementalSimulation`` here (and :class:`repro.engine.Engine`) are
+thin frontends over it.
 """
 
 from .bins import Bin, BinRecord, LOAD_EPS
@@ -23,6 +27,7 @@ from .intervals import (
     union_measure,
 )
 from .item import Item, UNKNOWN_DEPARTURE
+from .kernel import KernelListener, OpenBinIndex, PlacementKernel
 from .objectives import max_bins, momentary_ratio, optimal_bins_profile, usage_time
 from .profile import LoadProfile, load_profile
 from .result import PackingResult
@@ -48,6 +53,9 @@ __all__ = [
     "momentary_ratio",
     "optimal_bins_profile",
     "PackingResult",
+    "PlacementKernel",
+    "OpenBinIndex",
+    "KernelListener",
     "IncrementalSimulation",
     "simulate",
     "audit",

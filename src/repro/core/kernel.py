@@ -1,0 +1,675 @@
+"""The placement kernel: single owner of all packing-simulation state.
+
+Every frontend that drives an online algorithm — the batch
+:func:`~repro.core.simulation.simulate`, the incremental
+:class:`~repro.core.simulation.IncrementalSimulation` used by the
+Section-4 adaptive adversaries, and the streaming
+:class:`~repro.engine.loop.Engine` — is a thin adapter over one
+:class:`PlacementKernel`.  The kernel owns, in one place:
+
+- the **open-bin table** (insertion order = opening order = first-fit
+  order) and the **pending-bin open/commit protocol** that validates
+  every ``place()`` return;
+- **capacity enforcement** (via :meth:`Bin._add`) and the paper's event
+  semantics (DESIGN.md §5): half-open intervals, departures at ``t``
+  processed before arrivals at ``t``, simultaneous arrivals strictly in
+  release order, a bin closes the moment it empties;
+- **clairvoyance masking** — the only place in the codebase that
+  inspects ``algorithm.clairvoyant`` to decide what an algorithm may
+  see (:attr:`PlacementKernel.masks_departures`);
+- the **departure heap** and the adaptive-item set (items released with
+  unknown departures, departed explicitly by adversaries);
+- per-bin **usage/peak accounting** and the O(1) running-cost identity
+  ``Σ_open (t - opened_at) = |open|·t - Σ_open opened_at``;
+- the optional **ON_t event log** (``(time, ±1)`` open-count deltas)
+  and record-mode history from which :meth:`result` builds an audited
+  :class:`~repro.core.result.PackingResult`.
+
+Because both frontends call the same ``release``/``depart``/``advance``
+/``commit`` code, batch/stream parity holds **by construction**; the
+sweep in :mod:`repro.engine.parity` remains only as a regression guard.
+
+Indexed placement
+-----------------
+The kernel keeps an :class:`OpenBinIndex` over the open bins — a
+residual-capacity-sorted list plus a max-residual segment tree in
+opening order — so the Any-Fit candidate queries exposed on the facade
+(:meth:`first_fit`, :meth:`best_fit`, :meth:`worst_fit`,
+:meth:`last_fit`) run in O(log n) instead of scanning every open bin.
+Construct with ``indexed=False`` to fall back to the plain linear scans
+(same results; used as the benchmark baseline and as a safety valve).
+
+Frontends integrate through two hooks passed at construction:
+
+``facade``
+    The object handed to ``algorithm.place(view, facade)`` and the
+    notify hooks; defaults to the kernel itself.  Adapters pass
+    themselves so algorithms keep seeing the familiar ``sim`` surface
+    (the :class:`~repro.algorithms.base.SimulationView` protocol).
+``listener``
+    Receives ``on_advance`` / ``on_open`` / ``on_arrival`` /
+    ``on_departure`` / ``on_close`` callbacks in exact event order; the
+    streaming engine uses this to drive its incremental accounting,
+    metrics and observer events without re-implementing any semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time as _time
+from bisect import bisect_left, insort
+from typing import Hashable, List, Optional, Tuple
+
+from .bins import LOAD_EPS, Bin, BinRecord
+from .errors import (
+    ClairvoyanceError,
+    PackingError,
+    SimulationError,
+)
+from .item import Item
+from .result import PackingResult
+
+__all__ = ["PlacementKernel", "OpenBinIndex", "KernelListener"]
+
+_NEG_INF = float("-inf")
+
+
+class KernelListener:
+    """Callback protocol for frontends observing kernel events.
+
+    All methods are optional no-ops; the streaming engine overrides them
+    to maintain :class:`~repro.engine.accounting.RunningAccounting`,
+    metrics and observer events.  ``timed`` tells the kernel whether to
+    measure per-departure wall time (for latency histograms).
+    """
+
+    timed: bool = False
+
+    def on_advance(self, t: float) -> None:
+        """The clock is about to move forward to ``t``."""
+
+    def on_open(self, bin_: Bin) -> None:
+        """``bin_`` was just committed as a new open bin."""
+
+    def on_arrival(self, item: Item, bin_: Bin, opened: bool) -> None:
+        """``item`` was committed into ``bin_`` (``opened``: fresh bin)."""
+
+    def on_departure(
+        self,
+        uid: int,
+        removed: Item,
+        bin_: Bin,
+        t: float,
+        closed: bool,
+        elapsed: float,
+    ) -> None:
+        """Item ``uid`` left ``bin_`` at ``t`` (``closed``: bin emptied)."""
+
+    def on_close(
+        self, bin_: Bin, t: float, usage: float, peak: float, n_items: int
+    ) -> None:
+        """``bin_`` became empty and was closed at ``t``."""
+
+
+class OpenBinIndex:
+    """Indexed candidate lookup over the open bins.
+
+    Two structures, updated on every load change:
+
+    - ``_sorted``: ``(residual, uid)`` pairs in ascending order, backing
+      O(log n) best-fit (leftmost residual ≥ size) and worst-fit (the
+      max-residual group's smallest uid) queries;
+    - a max-residual **segment tree** over *slots* (one per bin, in
+      opening order), backing O(log n) first-fit (leftmost fitting slot)
+      and last-fit (rightmost fitting slot) queries.  Closed bins leave
+      ``-inf`` leaves behind; the tree compacts itself once dead slots
+      outnumber the live ones.
+
+    Thresholds use the same ``LOAD_EPS`` tolerance as :meth:`Bin.fits`;
+    the kernel re-verifies every returned candidate with ``fits()`` so a
+    one-ulp disagreement between ``load + size ≤ capacity + eps`` and
+    ``residual ≥ size - eps`` can never overfill a bin.
+    """
+
+    _MIN_SLOTS = 64
+
+    def __init__(self) -> None:
+        self._sorted: List[Tuple[float, int]] = []
+        self._key: dict[int, float] = {}  # uid -> key currently in _sorted
+        self._slot_of: dict[int, int] = {}  # uid -> slot (opening order)
+        self._slots: List[Optional[Bin]] = []
+        self._size = self._MIN_SLOTS  # segment-tree leaf count (power of 2)
+        self._tree: List[float] = [_NEG_INF] * (2 * self._size)
+        self._dead = 0
+
+    # -- maintenance (called by the kernel on every load change) -------- #
+    def add(self, bin_: Bin) -> None:
+        if len(self._slots) == self._size:
+            self._rebuild()
+        slot = len(self._slots)
+        self._slots.append(bin_)
+        self._slot_of[bin_.uid] = slot
+        res = bin_.residual()
+        self._set_leaf(slot, res)
+        insort(self._sorted, (res, bin_.uid))
+        self._key[bin_.uid] = res
+
+    def update(self, bin_: Bin) -> None:
+        uid = bin_.uid
+        old = self._key[uid]
+        new = bin_.residual()
+        if new != old:
+            del self._sorted[bisect_left(self._sorted, (old, uid))]
+            insort(self._sorted, (new, uid))
+            self._key[uid] = new
+            self._set_leaf(self._slot_of[uid], new)
+
+    def remove(self, bin_: Bin) -> None:
+        uid = bin_.uid
+        old = self._key.pop(uid)
+        del self._sorted[bisect_left(self._sorted, (old, uid))]
+        slot = self._slot_of.pop(uid)
+        self._slots[slot] = None
+        self._set_leaf(slot, _NEG_INF)
+        self._dead += 1
+        if self._dead > max(self._MIN_SLOTS, len(self._slot_of)):
+            self._rebuild()
+
+    # -- queries (thresholds already include the LOAD_EPS slack) -------- #
+    def first_fit(self, threshold: float) -> Optional[Bin]:
+        """Earliest-opened bin with residual ≥ ``threshold``."""
+        tree = self._tree
+        if tree[1] < threshold:
+            return None
+        i, size = 1, self._size
+        while i < size:
+            i <<= 1
+            if tree[i] < threshold:
+                i += 1
+        return self._slots[i - size]
+
+    def last_fit(self, threshold: float) -> Optional[Bin]:
+        """Latest-opened bin with residual ≥ ``threshold``."""
+        tree = self._tree
+        if tree[1] < threshold:
+            return None
+        i, size = 1, self._size
+        while i < size:
+            i <<= 1
+            if tree[i + 1] >= threshold:
+                i += 1
+        return self._slots[i - size]
+
+    def best_fit(self, threshold: float) -> Optional[Bin]:
+        """Fullest fitting bin: smallest ``(residual, uid)`` ≥ threshold."""
+        i = bisect_left(self._sorted, (threshold,))
+        if i == len(self._sorted):
+            return None
+        uid = self._sorted[i][1]
+        return self._slots[self._slot_of[uid]]
+
+    def worst_fit(self, threshold: float) -> Optional[Bin]:
+        """Emptiest fitting bin; ties broken to the earliest-opened."""
+        if not self._sorted or self._sorted[-1][0] < threshold:
+            return None
+        uid = self._sorted[bisect_left(self._sorted, (self._sorted[-1][0],))][1]
+        return self._slots[self._slot_of[uid]]
+
+    # -- internals ------------------------------------------------------ #
+    def _set_leaf(self, slot: int, value: float) -> None:
+        tree = self._tree
+        i = self._size + slot
+        tree[i] = value
+        i >>= 1
+        while i:
+            left, right = tree[2 * i], tree[2 * i + 1]
+            v = left if left >= right else right
+            if tree[i] == v:
+                break
+            tree[i] = v
+            i >>= 1
+
+    def _rebuild(self) -> None:
+        live = [b for b in self._slots if b is not None]
+        size = self._MIN_SLOTS
+        while size < 2 * len(live) + 1:
+            size <<= 1
+        self._size = size
+        self._slots = live
+        self._slot_of = {b.uid: k for k, b in enumerate(live)}
+        self._dead = 0
+        tree = [_NEG_INF] * (2 * size)
+        for k, b in enumerate(live):
+            tree[size + k] = self._key[b.uid]
+        for i in range(size - 1, 0, -1):
+            left, right = tree[2 * i], tree[2 * i + 1]
+            tree[i] = left if left >= right else right
+        self._tree = tree
+
+
+class PlacementKernel:
+    """Shared simulation state and semantics for every frontend.
+
+    Parameters
+    ----------
+    algorithm:
+        An object satisfying the
+        :class:`~repro.algorithms.base.OnlineAlgorithm` protocol; it is
+        ``reset()`` once at construction.
+    capacity:
+        Bin capacity (1.0 in the paper).
+    record:
+        Keep full history (items, bin records, assignment, departure
+        times) so :meth:`result` can build a
+        :class:`~repro.core.result.PackingResult`.  The batch frontends
+        always record; the constant-memory streaming engine does not.
+    record_events:
+        Additionally keep the ``(time, ±1)`` ON_t open-count deltas in
+        :attr:`open_count_events` (grows with the trace).
+    indexed:
+        Maintain the :class:`OpenBinIndex` for O(log n) candidate
+        queries; ``False`` falls back to linear scans (identical
+        results).
+    listener:
+        Optional :class:`KernelListener` receiving every event.
+    facade:
+        The ``sim`` object algorithms and notify hooks see; defaults to
+        the kernel itself (adversaries drive the kernel directly).
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        *,
+        capacity: float = 1.0,
+        record: bool = False,
+        record_events: bool = False,
+        indexed: bool = True,
+        listener: Optional[KernelListener] = None,
+        facade=None,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.algorithm = algorithm
+        self.capacity = capacity
+        self.record = record
+        self.time = -math.inf
+        self.closed_usage = 0.0
+        self.open_count_events: Optional[List[Tuple[float, int]]] = (
+            [] if record_events else None
+        )
+        self._sum_opened_at = 0.0
+        self._bin_uid = 0
+        self._seq = 0
+        self._open: dict[int, Bin] = {}
+        self._departures: List[Tuple[float, int, int]] = []  # (t, seq, uid)
+        self._item_bin: dict[int, Bin] = {}
+        self._peak: dict[int, float] = {}  # open-bin uid -> peak load
+        self._bin_count: dict[int, int] = {}  # open-bin uid -> items ever
+        self._adaptive: set[int] = set()  # uids with unknown departure
+        self._pending_bin: Optional[Bin] = None
+        self._index: Optional[OpenBinIndex] = OpenBinIndex() if indexed else None
+        self._listener = listener
+        self._facade = facade if facade is not None else self
+        # record-mode history (stays empty unless record=True)
+        self._items: List[Item] = []
+        self._records: List[BinRecord] = []
+        self._assignment: dict[int, int] = {}
+        self._bin_items: dict[int, list[int]] = {}
+        self._departed_at: dict[int, float] = {}
+        algorithm.reset()
+
+    # ------------------------------------------------------------------ #
+    # The facade surface (SimulationView protocol)
+    # ------------------------------------------------------------------ #
+    @property
+    def open_bins(self) -> tuple[Bin, ...]:
+        """Currently open bins, oldest first (first-fit order)."""
+        return tuple(self._open.values())
+
+    @property
+    def open_bin_count(self) -> int:
+        return len(self._open)
+
+    @property
+    def cost_so_far(self) -> float:
+        """Closed usage plus open bins' usage up to the clock, in O(1)."""
+        t = self.time if math.isfinite(self.time) else 0.0
+        return self.closed_usage + len(self._open) * t - self._sum_opened_at
+
+    @property
+    def masks_departures(self) -> bool:
+        """Whether this run hides departure times from the algorithm.
+
+        The *only* clairvoyance-masking decision site: both the batch
+        simulator and the streaming engine see items through this flag.
+        """
+        return not getattr(self.algorithm, "clairvoyant", True)
+
+    @property
+    def has_active(self) -> bool:
+        """Whether any item is still inside a bin."""
+        return bool(self._item_bin)
+
+    def is_open(self, uid: int) -> bool:
+        """Whether bin ``uid`` is currently open (O(1))."""
+        return uid in self._open
+
+    def open_bin(self, tag: Hashable = None) -> Bin:
+        """Called *by the algorithm inside place()* to open a fresh bin.
+
+        The returned bin must be the one ``place`` returns; opening more
+        than one bin per placement is an error.
+        """
+        if self._pending_bin is not None:
+            raise PackingError("place() may open at most one new bin")
+        b = Bin(self._bin_uid, self.capacity, self.time, tag)
+        self._bin_uid += 1
+        self._pending_bin = b
+        return b
+
+    # -- indexed candidate queries -------------------------------------- #
+    def first_fit(self, item: Item) -> Optional[Bin]:
+        """Earliest-opened open bin that fits ``item``, else ``None``."""
+        if self._index is not None:
+            b = self._index.first_fit(item.size - LOAD_EPS)
+            if b is None or b.fits(item):
+                return b
+        for b in self._open.values():
+            if b.fits(item):
+                return b
+        return None
+
+    def best_fit(self, item: Item) -> Optional[Bin]:
+        """Fullest fitting bin (ties to the earliest-opened), else ``None``."""
+        if self._index is not None:
+            b = self._index.best_fit(item.size - LOAD_EPS)
+            if b is None or b.fits(item):
+                return b
+        best: Optional[Bin] = None
+        best_key: Optional[Tuple[float, int]] = None
+        for b in self._open.values():
+            if b.fits(item):
+                key = (b.residual(), b.uid)
+                if best_key is None or key < best_key:
+                    best, best_key = b, key
+        return best
+
+    def worst_fit(self, item: Item) -> Optional[Bin]:
+        """Emptiest fitting bin (ties to the earliest-opened), else ``None``."""
+        if self._index is not None:
+            b = self._index.worst_fit(item.size - LOAD_EPS)
+            if b is None or b.fits(item):
+                return b
+        best: Optional[Bin] = None
+        best_res = _NEG_INF
+        for b in self._open.values():
+            r = b.residual()
+            if r > best_res and b.fits(item):
+                best, best_res = b, r
+        return best
+
+    def last_fit(self, item: Item) -> Optional[Bin]:
+        """Latest-opened open bin that fits ``item``, else ``None``."""
+        if self._index is not None:
+            b = self._index.last_fit(item.size - LOAD_EPS)
+            if b is None or b.fits(item):
+                return b
+        for b in reversed(self._open.values()):
+            if b.fits(item):
+                return b
+        return None
+
+    def fitting_bins(self, item: Item) -> list[Bin]:
+        """All open bins that fit ``item``, oldest first (linear scan)."""
+        return [b for b in self._open.values() if b.fits(item)]
+
+    # ------------------------------------------------------------------ #
+    # Driving API
+    # ------------------------------------------------------------------ #
+    def release(self, item: Item) -> Bin:
+        """Release ``item`` to the algorithm and return the bin it chose.
+
+        Processes all scheduled departures up to the item's arrival
+        first (departures-before-arrivals at equal times).
+        """
+        if item.arrival < self.time:
+            raise SimulationError(
+                f"items must be released in arrival order: {item} arrives at "
+                f"{item.arrival} but the clock is at {self.time}"
+            )
+        self._advance(item.arrival)
+        masked = self.masks_departures
+        if item.departure is None and not masked:
+            raise ClairvoyanceError(
+                f"clairvoyant algorithm {self.algorithm!r} received an item "
+                "with unknown departure"
+            )
+        view = item.masked() if masked else item
+        chosen = self.algorithm.place(view, self._facade)
+        opened = self._pending_bin is not None
+        bin_ = self._commit(item, view, chosen, opened)
+        if item.departure is not None:
+            heapq.heappush(
+                self._departures, (item.departure, self._seq, item.uid)
+            )
+            self._seq += 1
+        else:
+            self._adaptive.add(item.uid)
+        if self._listener is not None:
+            self._listener.on_arrival(item, bin_, opened)
+        return bin_
+
+    def depart(self, uid: int, time: float) -> None:
+        """Force an adaptive item (unknown departure) out at ``time``.
+
+        Used by non-clairvoyant adversaries that decide departure times
+        as a function of the algorithm's behaviour.
+        """
+        if time < self.time:
+            raise SimulationError(
+                f"departure at {time} is before the clock ({self.time})"
+            )
+        if uid not in self._item_bin:
+            raise PackingError(f"item {uid} is not active")
+        if uid not in self._adaptive:
+            raise SimulationError(
+                f"item {uid} has a scheduled departure; only adaptive items "
+                "may be departed explicitly"
+            )
+        self._advance(time)
+        self._adaptive.discard(uid)
+        self._do_departure(uid, time)
+
+    def run_until(self, time: float) -> None:
+        """Advance the clock to ``time``, processing scheduled departures."""
+        if time < self.time:
+            raise SimulationError("time may not move backwards")
+        self._advance(time)
+
+    #: streaming-flavoured alias for :meth:`run_until`
+    advance_to = run_until
+
+    def drain(self) -> None:
+        """Process every remaining scheduled departure.
+
+        Raises if adaptive items are still active afterwards — those
+        must be departed explicitly by whoever released them.
+        """
+        while self._departures:
+            t, _, _ = self._departures[0]
+            self._advance(t)
+        if self._item_bin:
+            alive = list(self._open.values())
+            raise SimulationError(
+                f"simulation finished with items still active in bins {alive}; "
+                "adaptive items must be departed explicitly"
+            )
+
+    def result(self) -> PackingResult:
+        """The audited :class:`PackingResult` (requires ``record=True``)."""
+        if not self.record:
+            raise SimulationError(
+                "result() needs record=True; the constant-memory kernel "
+                "keeps no per-item history — use the frontend's summary "
+                "instead"
+            )
+        if self._item_bin:
+            raise SimulationError("result() before the stream is drained")
+        return PackingResult(
+            algorithm=getattr(
+                self.algorithm, "name", type(self.algorithm).__name__
+            ),
+            items=tuple(self._items),
+            assignment=dict(self._assignment),
+            bins=tuple(self._records),
+            departed_at=dict(self._departed_at),
+            capacity=self.capacity,
+        )
+
+    def finish(self) -> PackingResult:
+        """:meth:`drain` then :meth:`result` — the batch-style ending."""
+        self.drain()
+        return self.result()
+
+    # ------------------------------------------------------------------ #
+    # Internals — the one copy of the event semantics
+    # ------------------------------------------------------------------ #
+    def _advance(self, until: float) -> None:
+        """Process scheduled departures ≤ ``until``, then move the clock."""
+        dq = self._departures
+        while dq:
+            t, _, uid = dq[0]
+            if t > until:
+                break
+            heapq.heappop(dq)
+            self._do_departure(uid, t)
+        if until > self.time:
+            if self._listener is not None:
+                self._listener.on_advance(until)
+            self.time = until
+
+    def _do_departure(self, uid: int, t: float) -> None:
+        listener = self._listener
+        timed = listener is not None and listener.timed
+        t0 = _time.perf_counter() if timed else 0.0
+        if t > self.time:
+            if listener is not None:
+                listener.on_advance(t)
+            self.time = t
+        bin_ = self._item_bin.pop(uid, None)
+        if bin_ is None:
+            return  # already departed (duplicate schedule), ignore
+        removed = bin_._remove(uid)
+        if self.record:
+            self._departed_at[uid] = t
+        hook = getattr(self.algorithm, "notify_departure", None)
+        if hook is not None:
+            hook(removed, bin_, self._facade)
+        closed = bin_.n_items == 0
+        if closed:
+            self._close(bin_, t)
+        elif self._index is not None:
+            self._index.update(bin_)
+        if listener is not None:
+            listener.on_departure(
+                uid,
+                removed,
+                bin_,
+                t,
+                closed,
+                _time.perf_counter() - t0 if timed else 0.0,
+            )
+
+    def _close(self, bin_: Bin, t: float) -> None:
+        del self._open[bin_.uid]
+        if self._index is not None:
+            self._index.remove(bin_)
+        peak = self._peak.pop(bin_.uid, 0.0)
+        n_items = self._bin_count.pop(bin_.uid, 0)
+        usage = t - bin_.opened_at
+        self.closed_usage += usage
+        self._sum_opened_at -= bin_.opened_at
+        if not self._open:
+            self._sum_opened_at = 0.0  # kill floating residue when idle
+        if self.open_count_events is not None:
+            self.open_count_events.append((t, -1))
+        if self.record:
+            self._records.append(
+                BinRecord(
+                    uid=bin_.uid,
+                    tag=bin_.tag,
+                    opened_at=bin_.opened_at,
+                    closed_at=t,
+                    item_uids=tuple(self._bin_items.pop(bin_.uid, ())),
+                    peak_load=peak,
+                )
+            )
+        if self._listener is not None:
+            self._listener.on_close(bin_, t, usage, peak, n_items)
+        hook = getattr(self.algorithm, "notify_close", None)
+        if hook is not None:
+            hook(bin_, self._facade)
+
+    def _commit(self, item: Item, view: Item, chosen, opened: bool) -> Bin:
+        """Validate the algorithm's choice and commit the placement.
+
+        The one pending-bin commit site: both frontends inherit its
+        protocol checks (one new bin per placement, returned bin must be
+        the pending one or already open) and capacity enforcement.
+        """
+        pending, self._pending_bin = self._pending_bin, None
+        if not isinstance(chosen, Bin):
+            raise PackingError(f"place() must return a Bin, got {chosen!r}")
+        if pending is not None and chosen is not pending:
+            raise PackingError(
+                "place() opened a new bin but returned a different one"
+            )
+        if pending is None and chosen.uid not in self._open:
+            raise PackingError(
+                f"place() returned bin {chosen.uid} which is not open"
+            )
+        chosen._add(view)
+        if pending is not None:
+            self._open[chosen.uid] = chosen
+            self._sum_opened_at += chosen.opened_at
+            if self._index is not None:
+                self._index.add(chosen)
+            if self.open_count_events is not None:
+                self.open_count_events.append((self.time, +1))
+            if self._listener is not None:
+                self._listener.on_open(chosen)
+        elif self._index is not None:
+            self._index.update(chosen)
+        load = chosen.load
+        if load > self._peak.get(chosen.uid, 0.0):
+            self._peak[chosen.uid] = load
+        self._bin_count[chosen.uid] = self._bin_count.get(chosen.uid, 0) + 1
+        self._item_bin[item.uid] = chosen
+        if self.record:
+            self._assignment[item.uid] = chosen.uid
+            self._bin_items.setdefault(chosen.uid, []).append(item.uid)
+            self._items.append(item)
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # Pickling (checkpointing): hooks are re-attached by the restorer
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_listener"] = None
+        state["_facade"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._facade is None:
+            self._facade = self
+
+    def __repr__(self) -> str:
+        name = getattr(self.algorithm, "name", type(self.algorithm).__name__)
+        return (
+            f"PlacementKernel(algorithm={name!r}, t={self.time:g}, "
+            f"open={len(self._open)}, cost={self.cost_so_far:.6g})"
+        )

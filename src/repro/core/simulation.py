@@ -1,4 +1,4 @@
-"""The event-driven MinUsageTime packing simulator.
+"""Batch frontends over the placement kernel.
 
 Two entry points:
 
@@ -11,31 +11,23 @@ Two entry points:
   they watch how many bins the online algorithm has open *right now* and
   choose the next item (or a departure time) accordingly.
 
-Semantics (see DESIGN.md §5): intervals are half-open, departures at time
-``t`` are processed before arrivals at ``t``, simultaneous arrivals are
-handled strictly in release order, and a bin closes the moment it empties.
-
-Clairvoyance is enforced by the simulator, not trusted to the algorithm: a
-non-clairvoyant algorithm (``algorithm.clairvoyant == False``) receives
-*masked* items — departure fields stripped — both for the item being placed
-and for every item visible inside bins.
+All simulation semantics — half-open intervals, departures-before-arrivals
+at equal ``t``, release-order tie-breaks, bin-closes-when-empty,
+clairvoyance masking, the pending-bin commit protocol — live in
+:class:`~repro.core.kernel.PlacementKernel`; this module only adapts the
+kernel to the batch calling conventions.  The streaming engine
+(:mod:`repro.engine.loop`) wraps the *same* kernel, so batch/stream parity
+holds by construction.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
 from typing import Hashable, Iterable, Optional
 
-from .bins import Bin, BinRecord
-from .errors import (
-    ClairvoyanceError,
-    PackingError,
-    SimulationError,
-)
+from .bins import Bin
 from .instance import Instance
 from .item import Item
+from .kernel import PlacementKernel
 from .result import PackingResult
 
 __all__ = ["IncrementalSimulation", "simulate", "simulate_many"]
@@ -43,6 +35,12 @@ __all__ = ["IncrementalSimulation", "simulate", "simulate_many"]
 
 class IncrementalSimulation:
     """Drives one online algorithm over a stream of items.
+
+    A thin, fully-recording adapter over
+    :class:`~repro.core.kernel.PlacementKernel`: it keeps complete history
+    (items, bin records, assignment, the ON_t event log) so
+    :meth:`finish` can return an audited
+    :class:`~repro.core.result.PackingResult`.
 
     Parameters
     ----------
@@ -54,49 +52,55 @@ class IncrementalSimulation:
         bounded-parallelism setting of Shalom et al. — ``g`` unit slots — can
         be expressed as ``capacity=1`` with sizes ``1/g``, or directly as
         ``capacity=g`` with unit sizes).
+    indexed:
+        Maintain the kernel's O(log n) open-bin index (default).  Pass
+        ``False`` for the plain linear-scan placement queries.
     """
 
-    def __init__(self, algorithm, *, capacity: float = 1.0) -> None:
-        if capacity <= 0:
-            raise SimulationError(f"capacity must be positive, got {capacity}")
-        self.algorithm = algorithm
-        self.capacity = capacity
-        self.time = -math.inf
-        self._bin_uid = itertools.count()
-        self._open: dict[int, Bin] = {}
-        self._records: list[BinRecord] = []
-        self._assignment: dict[int, int] = {}
-        self._bin_items: dict[int, list[int]] = {}  # bin uid -> item uids ever
-        self._items: list[Item] = []  # true items, release order
-        self._departed_at: dict[int, float] = {}
-        # (departure_time, seq, uid) heap of scheduled departures
-        self._departures: list[tuple[float, int, int]] = []
-        self._seq = itertools.count()
-        self._item_bin: dict[int, Bin] = {}
-        self._peak: dict[int, float] = {}
-        self._pending_bin: Optional[Bin] = None
-        self._open_count_events: list[tuple[float, int]] = []
-        algorithm.reset()
+    def __init__(
+        self, algorithm, *, capacity: float = 1.0, indexed: bool = True
+    ) -> None:
+        self._kernel = PlacementKernel(
+            algorithm,
+            capacity=capacity,
+            record=True,
+            record_events=True,
+            indexed=indexed,
+            facade=self,
+        )
 
     # ------------------------------------------------------------------ #
     # Inspection API (used by algorithms and adversaries)
     # ------------------------------------------------------------------ #
     @property
+    def algorithm(self):
+        return self._kernel.algorithm
+
+    @property
+    def capacity(self) -> float:
+        return self._kernel.capacity
+
+    @property
+    def time(self) -> float:
+        return self._kernel.time
+
+    @property
     def open_bins(self) -> tuple[Bin, ...]:
         """Currently open bins, oldest first (first-fit order)."""
-        return tuple(self._open.values())
+        return self._kernel.open_bins
 
     @property
     def open_bin_count(self) -> int:
-        return len(self._open)
+        return self._kernel.open_bin_count
 
     @property
     def cost_so_far(self) -> float:
         """Usage time accumulated by closed bins plus open bins up to now."""
-        closed = sum(rec.usage for rec in self._records)
-        t = self.time if math.isfinite(self.time) else 0.0
-        running = sum(t - b.opened_at for b in self._open.values())
-        return closed + running
+        return self._kernel.cost_so_far
+
+    def is_open(self, uid: int) -> bool:
+        """Whether bin ``uid`` is currently open (O(1))."""
+        return self._kernel.is_open(uid)
 
     def open_bin(self, tag: Hashable = None) -> Bin:
         """Called *by the algorithm inside place()* to open a fresh bin.
@@ -104,36 +108,30 @@ class IncrementalSimulation:
         The returned bin must be the one ``place`` returns; opening more
         than one bin per placement is an error.
         """
-        if self._pending_bin is not None:
-            raise PackingError("place() may open at most one new bin")
-        b = Bin(next(self._bin_uid), self.capacity, self.time, tag)
-        self._pending_bin = b
-        return b
+        return self._kernel.open_bin(tag)
+
+    # indexed candidate queries (SimulationView protocol)
+    def first_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.first_fit(item)
+
+    def best_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.best_fit(item)
+
+    def worst_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.worst_fit(item)
+
+    def last_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.last_fit(item)
+
+    def fitting_bins(self, item: Item) -> list[Bin]:
+        return self._kernel.fitting_bins(item)
 
     # ------------------------------------------------------------------ #
     # Driving API
     # ------------------------------------------------------------------ #
     def release(self, item: Item) -> Bin:
         """Release ``item`` to the algorithm and return the bin it chose."""
-        if item.arrival < self.time:
-            raise SimulationError(
-                f"items must be released in arrival order: {item} arrives at "
-                f"{item.arrival} but the clock is at {self.time}"
-            )
-        self._advance(item.arrival)
-        if item.departure is None and getattr(self.algorithm, "clairvoyant", True):
-            raise ClairvoyanceError(
-                f"clairvoyant algorithm {self.algorithm!r} received an item "
-                "with unknown departure"
-            )
-        view = item if not _masking(self.algorithm) else item.masked()
-        chosen = self.algorithm.place(view, self)
-        bin_ = self._commit(item, view, chosen)
-        if item.departure is not None:
-            heapq.heappush(
-                self._departures, (item.departure, next(self._seq), item.uid)
-            )
-        return bin_
+        return self._kernel.release(item)
 
     def depart(self, uid: int, time: float) -> None:
         """Force an adaptive item (released with unknown departure) out.
@@ -141,136 +139,35 @@ class IncrementalSimulation:
         Used by non-clairvoyant adversaries that decide departure times as a
         function of the algorithm's behaviour.
         """
-        if time < self.time:
-            raise SimulationError(
-                f"departure at {time} is before the clock ({self.time})"
-            )
-        if uid not in self._item_bin:
-            raise PackingError(f"item {uid} is not active")
-        true_item = self._items[self._uid_index[uid]]
-        if true_item.departure is not None:
-            raise SimulationError(
-                f"item {uid} has a scheduled departure at {true_item.departure}"
-            )
-        self._advance(time, inclusive=True)
-        self._do_departure(uid, time)
+        self._kernel.depart(uid, time)
 
     def run_until(self, time: float) -> None:
         """Advance the clock to ``time``, processing scheduled departures."""
-        if time < self.time:
-            raise SimulationError("time may not move backwards")
-        self._advance(time, inclusive=True)
+        self._kernel.run_until(time)
 
     def finish(self) -> PackingResult:
         """Process all remaining departures and return the final result."""
-        while self._departures:
-            t, _, _ = self._departures[0]
-            self._advance(t, inclusive=True)
-        if self._open:
-            alive = [b for b in self._open.values()]
-            raise SimulationError(
-                f"simulation finished with items still active in bins {alive}; "
-                "adaptive items must be departed explicitly"
-            )
-        return PackingResult(
-            algorithm=getattr(self.algorithm, "name", type(self.algorithm).__name__),
-            items=tuple(self._items),
-            assignment=dict(self._assignment),
-            bins=tuple(self._records),
-            departed_at=dict(self._departed_at),
-            capacity=self.capacity,
-        )
+        return self._kernel.finish()
 
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    @property
-    def _uid_index(self) -> dict[int, int]:
-        # small instances: rebuild lazily; cache on first use
-        idx = getattr(self, "_uid_index_cache", None)
-        if idx is None or len(idx) != len(self._items):
-            idx = {it.uid: k for k, it in enumerate(self._items)}
-            self._uid_index_cache = idx
-        return idx
-
-    def _advance(self, until: float, *, inclusive: bool = True) -> None:
-        """Process scheduled departures with time ≤ ``until`` and move the clock."""
-        while self._departures:
-            t, _, uid = self._departures[0]
-            if t > until or (not inclusive and t == until):
-                break
-            heapq.heappop(self._departures)
-            self._do_departure(uid, t)
-        self.time = max(self.time, until)
-
-    def _do_departure(self, uid: int, t: float) -> None:
-        self.time = max(self.time, t)
-        bin_ = self._item_bin.pop(uid, None)
-        if bin_ is None:
-            return  # already departed (duplicate schedule), ignore
-        removed = bin_._remove(uid)
-        self._departed_at[uid] = t
-        hook = getattr(self.algorithm, "notify_departure", None)
-        if hook is not None:
-            hook(removed, bin_, self)
-        if bin_.n_items == 0:
-            self._close(bin_, t)
-
-    def _close(self, bin_: Bin, t: float) -> None:
-        del self._open[bin_.uid]
-        self._records.append(
-            BinRecord(
-                uid=bin_.uid,
-                tag=bin_.tag,
-                opened_at=bin_.opened_at,
-                closed_at=t,
-                item_uids=tuple(self._bin_items.pop(bin_.uid, ())),
-                peak_load=self._peak.get(bin_.uid, 0.0),
-            )
-        )
-        self._open_count_events.append((t, -1))
-        hook = getattr(self.algorithm, "notify_close", None)
-        if hook is not None:
-            hook(bin_, self)
-
-    def _commit(self, item: Item, view: Item, chosen) -> Bin:
-        pending, self._pending_bin = self._pending_bin, None
-        if not isinstance(chosen, Bin):
-            raise PackingError(
-                f"place() must return a Bin, got {chosen!r}"
-            )
-        if pending is not None and chosen is not pending:
-            raise PackingError(
-                "place() opened a new bin but returned a different one"
-            )
-        if pending is None and chosen.uid not in self._open:
-            raise PackingError(
-                f"place() returned bin {chosen.uid} which is not open"
-            )
-        chosen._add(view)
-        if pending is not None:
-            self._open[chosen.uid] = chosen
-            self._open_count_events.append((self.time, +1))
-        self._peak[chosen.uid] = max(
-            self._peak.get(chosen.uid, 0.0), chosen.load
-        )
-        self._assignment[item.uid] = chosen.uid
-        self._bin_items.setdefault(chosen.uid, []).append(item.uid)
-        self._items.append(item)
-        self._item_bin[item.uid] = chosen
-        return chosen
+    def __repr__(self) -> str:
+        return f"IncrementalSimulation({self._kernel!r})"
 
 
-def _masking(algorithm) -> bool:
-    return not getattr(algorithm, "clairvoyant", True)
-
-
-def simulate(algorithm, instance: Instance, *, capacity: float = 1.0) -> PackingResult:
+def simulate(
+    algorithm,
+    instance: Instance,
+    *,
+    capacity: float = 1.0,
+    indexed: bool = True,
+) -> PackingResult:
     """Run ``algorithm`` over ``instance`` and return the audited result."""
-    sim = IncrementalSimulation(algorithm, capacity=capacity)
+    kernel = PlacementKernel(
+        algorithm, capacity=capacity, record=True, indexed=indexed
+    )
+    release = kernel.release
     for item in instance:
-        sim.release(item)
-    return sim.finish()
+        release(item)
+    return kernel.finish()
 
 
 def simulate_many(

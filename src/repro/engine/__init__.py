@@ -1,12 +1,13 @@
 """repro.engine — the streaming, event-driven packing engine.
 
 Where :func:`repro.core.simulation.simulate` needs the whole instance in
-memory and recomputes accounting per run, this subsystem replays traces
-of any length through an event loop with **incremental accounting**
-(cost and ``ON_t`` queryable mid-stream in O(1)), **constant memory**
-(peak RSS independent of trace length), **checkpoint/restore**, and an
-**observability layer** — while staying bit-for-bit consistent with the
-batch path (see :mod:`repro.engine.parity`).
+memory and keeps full history, this subsystem replays traces of any
+length through the shared :class:`~repro.core.kernel.PlacementKernel`
+with **incremental accounting** (cost and ``ON_t`` queryable mid-stream
+in O(1)), **constant memory** (peak RSS independent of trace length),
+**checkpoint/restore**, and an **observability layer**.  Batch and
+stream run the *same* kernel, so they agree bit-for-bit by construction
+(:mod:`repro.engine.parity` keeps the regression guard).
 
 Quickstart::
 

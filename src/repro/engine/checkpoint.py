@@ -3,21 +3,26 @@
 Format
 ------
 A checkpoint is a single pickle blob wrapped in a small versioned
-envelope (:class:`Checkpoint`).  Engine state and the algorithm object
-are pickled **together** in one object graph: algorithms legitimately
-hold references to live :class:`~repro.core.bins.Bin` objects (CDFF's
-rows, NextFit's active bin), and a joint pickle is what preserves that
-identity — pickling them separately would silently duplicate bins and
-desynchronise the restored run.
+envelope (:class:`Checkpoint`).  The engine's
+:class:`~repro.core.kernel.PlacementKernel` (which owns the clock, the
+open bins, the departure heap, the counters, the adaptive-item set, the
+bin index and record-mode history) and the algorithm object are pickled
+**together** in one object graph: algorithms legitimately hold references
+to live :class:`~repro.core.bins.Bin` objects (CDFF's rows, NextFit's
+active bin), and a joint pickle is what preserves that identity —
+pickling them separately would silently duplicate bins and desynchronise
+the restored run.
 
-What is captured: the clock, the open bins (with their contents), the
-departure heap, the uid/seq counters, the adaptive-item set, the
-:class:`~repro.engine.accounting.RunningAccounting`, record-mode history
-when enabled, optional metrics, and the algorithm.  What is *not*:
-observers (may close over file handles; re-``subscribe`` after restore)
-and the trace source — the caller resumes the stream at item index
-``checkpoint.arrivals`` (``repro-dbp replay --resume`` does exactly
-that, see the CLI).
+What is captured: the kernel (with the algorithm inside it), the
+:class:`~repro.engine.accounting.RunningAccounting`, the ``record`` flag
+and optional metrics.  What is *not*: observers (may close over file
+handles; re-``subscribe`` after restore) and the trace source — the
+caller resumes the stream at item index ``checkpoint.arrivals``
+(``repro-dbp replay --resume`` does exactly that, see the CLI).
+
+Version history: **v1** pickled the pre-kernel engine's flat attribute
+dict (PR 1); **v2** pickles the kernel-backed state.  v1 files are
+rejected with an explicit error rather than a pickle/attribute failure.
 
 Restoring never calls ``algorithm.reset()`` — the algorithm continues
 from its pickled private state.  The parity guarantee carries over: a
@@ -45,28 +50,13 @@ __all__ = [
     "load_checkpoint",
 ]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 #: engine attributes captured in a snapshot, in a stable order
 _STATE_ATTRS = (
-    "algorithm",
-    "capacity",
+    "_kernel",  # owns algorithm, bins, heap, counters, record history
     "record",
-    "time",
     "accounting",
-    "_next_bin_uid",
-    "_next_seq",
-    "_open",
-    "_departures",
-    "_item_bin",
-    "_peak",
-    "_bin_count",
-    "_adaptive",
-    "_items",
-    "_records",
-    "_assignment",
-    "_bin_items",
-    "_departed_at",
     "metrics",
 )
 
@@ -93,6 +83,13 @@ class Checkpoint:
                 f"not a checkpoint payload: {type(ckpt).__name__}"
             )
         if ckpt.version != CHECKPOINT_VERSION:
+            if ckpt.version == 1:
+                raise SimulationError(
+                    "checkpoint format v1 (pre-kernel engine state) is no "
+                    "longer loadable: this version stores the unified "
+                    f"placement kernel as format v{CHECKPOINT_VERSION}. "
+                    "Re-run the stream to write a fresh checkpoint."
+                )
             raise SimulationError(
                 f"checkpoint version {ckpt.version} is not supported "
                 f"(expected {CHECKPOINT_VERSION})"
@@ -113,7 +110,7 @@ def snapshot(engine: Engine) -> Checkpoint:
     The pending-bin protocol guarantees snapshots only make sense between
     events; taking one during a ``place()`` call is a caller error.
     """
-    if engine._pending_bin is not None:
+    if engine._kernel._pending_bin is not None:
         raise SimulationError("cannot snapshot mid-placement")
     state = {name: getattr(engine, name) for name in _STATE_ATTRS}
     buf = io.BytesIO()
@@ -132,14 +129,19 @@ def restore(checkpoint: Checkpoint) -> Engine:
 
     The result is fully independent of the engine that produced the
     snapshot (the blob round-trip deep-copies everything), with no
-    observers and whatever metrics were captured.
+    observers and whatever metrics were captured.  The kernel's listener
+    and facade hooks (dropped at pickle time) are re-wired to the new
+    engine.
     """
     state = pickle.loads(checkpoint.blob)
     engine = object.__new__(Engine)
     for name, value in state.items():
         setattr(engine, name, value)
-    engine._pending_bin = None
     engine._observers = []
+    engine._last_opened = False
+    kernel = engine._kernel
+    kernel._listener = engine
+    kernel._facade = engine
     return engine
 
 

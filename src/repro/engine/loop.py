@@ -1,17 +1,19 @@
 """The streaming packing engine.
 
 :class:`Engine` merges an arrival stream (pulled lazily from any
-:data:`~repro.engine.stream.ItemSource`) with its internal departure heap
+:data:`~repro.engine.stream.ItemSource`) with the kernel's departure heap
 and drives an **unmodified** :class:`~repro.algorithms.base.
-OnlineAlgorithm` over the combined event sequence.  It is a drop-in
-``sim`` for algorithms — it exposes the same ``open_bins`` /
-``open_bin(tag)`` / ``open_bin_count`` / ``cost_so_far`` surface as
-:class:`~repro.core.simulation.IncrementalSimulation` — but differs in
-two ways that matter at production scale:
+OnlineAlgorithm` over the combined event sequence.  It is a thin adapter
+over the shared :class:`~repro.core.kernel.PlacementKernel` — the same
+kernel the batch ``simulate()`` runs on — so event semantics (departures
+before arrivals at equal times, release-order tie-breaks, bins close the
+moment they empty, clairvoyance enforced by masking) are *identical by
+construction*, not by mirroring.  What the engine layers on top:
 
-- **Incremental accounting.**  Cost, open-bin count, current load and the
-  rest of :class:`~repro.engine.accounting.RunningAccounting` are updated
-  in O(1) per event (O(log n) including the heap), so ``ON_t`` and cost
+- **Incremental accounting.**  The engine registers as the kernel's
+  listener and folds every event into
+  :class:`~repro.engine.accounting.RunningAccounting` in O(1) per event
+  (O(log n) including the heap), so ``ON_t``, cost, load and utilisation
   are queryable at any moment mid-stream — no whole-instance
   recomputation, no stored history.
 - **Constant memory.**  By default nothing proportional to the trace is
@@ -20,29 +22,25 @@ two ways that matter at production scale:
   assignment so :meth:`result` can produce a full
   :class:`~repro.core.result.PackingResult` (the parity harness uses
   this; it restores the batch path's memory profile).
+- **Observability.**  Optional per-event metrics
+  (:class:`~repro.engine.metrics.EngineMetrics`) and observer callbacks
+  receiving typed :class:`~repro.engine.events.Event` records.
 
-Event semantics are *identical* to the batch simulator — departures
-before arrivals at equal times, release-order tie-breaks, bins close the
-moment they empty, clairvoyance enforced by masking — and per-bin usage
-is accumulated in close order, so the final cost is bit-for-bit equal to
-``simulate()``'s (see ``repro.engine.parity``).
+Per-bin usage is accumulated in close order inside the kernel, so the
+final cost is bit-for-bit equal to ``simulate()``'s (the regression guard
+in ``repro.engine.parity`` checks exactly this).
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import time as _time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..core.bins import Bin, BinRecord
-from ..core.errors import (
-    ClairvoyanceError,
-    PackingError,
-    SimulationError,
-)
 from ..core.item import Item
+from ..core.kernel import PlacementKernel
 from ..core.result import PackingResult
 from .accounting import RunningAccounting
 from .events import ArrivalEvent, DepartureEvent, Event
@@ -104,6 +102,9 @@ class Engine:
     record_profile:
         Keep open-count deltas so ``accounting.open_profile()`` can
         rebuild ``ON_t`` afterwards (also grows with the trace).
+    indexed:
+        Maintain the kernel's O(log n) open-bin index (default).  Pass
+        ``False`` for plain linear-scan placement queries.
     """
 
     def __init__(
@@ -114,57 +115,87 @@ class Engine:
         metrics: Optional[EngineMetrics] = None,
         record: bool = False,
         record_profile: bool = False,
+        indexed: bool = True,
     ) -> None:
-        if capacity <= 0:
-            raise SimulationError(f"capacity must be positive, got {capacity}")
-        self.algorithm = algorithm
-        self.capacity = capacity
         self.metrics = metrics
         self.record = record
-        self.time = -math.inf
         self.accounting = RunningAccounting(record_profile=record_profile)
-        self._next_bin_uid = 0
-        self._next_seq = 0
-        self._open: dict[int, Bin] = {}
-        self._departures: List[tuple[float, int, int]] = []  # (t, seq, uid)
-        self._item_bin: dict[int, Bin] = {}
-        self._peak: dict[int, float] = {}  # open-bin uid -> peak load
-        self._bin_count: dict[int, int] = {}  # open-bin uid -> items ever
-        self._adaptive: set[int] = set()  # uids with unknown departure
-        self._pending_bin: Optional[Bin] = None
         self._observers: List[Callable[[Event], None]] = []
-        # record-mode history (empty unless record=True)
-        self._items: List[Item] = []
-        self._records: List[BinRecord] = []
-        self._assignment: dict[int, int] = {}
-        self._bin_items: dict[int, list[int]] = {}
-        self._departed_at: dict[int, float] = {}
-        algorithm.reset()
+        self._last_opened = False
+        self._kernel = PlacementKernel(
+            algorithm,
+            capacity=capacity,
+            record=record,
+            indexed=indexed,
+            listener=self,
+            facade=self,
+        )
 
     # ------------------------------------------------------------------ #
-    # The `sim` facade algorithms see (mirrors IncrementalSimulation)
+    # The `sim` facade algorithms see (SimulationView protocol)
     # ------------------------------------------------------------------ #
+    @property
+    def algorithm(self):
+        return self._kernel.algorithm
+
+    @property
+    def capacity(self) -> float:
+        return self._kernel.capacity
+
+    @property
+    def time(self) -> float:
+        return self._kernel.time
+
     @property
     def open_bins(self) -> tuple[Bin, ...]:
         """Currently open bins, oldest first (first-fit order)."""
-        return tuple(self._open.values())
+        return self._kernel.open_bins
 
     @property
     def open_bin_count(self) -> int:
-        return len(self._open)
+        return self._kernel.open_bin_count
 
     @property
     def cost_so_far(self) -> float:
         """Closed usage plus open bins' usage up to the current clock."""
-        return self.accounting.cost_at(self.time)
+        return self.accounting.cost_at(self._kernel.time)
+
+    def is_open(self, uid: int) -> bool:
+        """Whether bin ``uid`` is currently open (O(1))."""
+        return self._kernel.is_open(uid)
 
     def open_bin(self, tag=None) -> Bin:
         """Called by the algorithm inside ``place()`` to open a fresh bin."""
-        if self._pending_bin is not None:
-            raise PackingError("place() may open at most one new bin")
-        b = Bin(self._next_bin_uid, self.capacity, self.time, tag)
-        self._pending_bin = b
-        return b
+        return self._kernel.open_bin(tag)
+
+    # indexed candidate queries (delegated to the kernel's bin index)
+    def first_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.first_fit(item)
+
+    def best_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.best_fit(item)
+
+    def worst_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.worst_fit(item)
+
+    def last_fit(self, item: Item) -> Optional[Bin]:
+        return self._kernel.last_fit(item)
+
+    def fitting_bins(self, item: Item) -> list[Bin]:
+        return self._kernel.fitting_bins(item)
+
+    # record-mode history lives in the kernel; exposed for tests/tools
+    @property
+    def _items(self) -> List[Item]:
+        return self._kernel._items
+
+    @property
+    def _records(self) -> List[BinRecord]:
+        return self._kernel._records
+
+    @property
+    def _assignment(self) -> dict[int, int]:
+        return self._kernel._assignment
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -182,175 +213,37 @@ class Engine:
             obs(event)
 
     # ------------------------------------------------------------------ #
-    # Driving API
+    # Kernel listener callbacks: fold events into accounting/metrics
     # ------------------------------------------------------------------ #
-    def feed(self, item: Item) -> Bin:
-        """Release one item to the algorithm; returns the bin it chose.
+    @property
+    def timed(self) -> bool:
+        """Whether the kernel should time departures (for metrics)."""
+        return self.metrics is not None
 
-        Processes all scheduled departures up to the item's arrival
-        first, exactly like the batch simulator.
-        """
-        t0 = _time.perf_counter() if self.metrics is not None else 0.0
-        if item.arrival < self.time:
-            raise SimulationError(
-                f"items must be streamed in arrival order: {item} arrives at "
-                f"{item.arrival} but the clock is at {self.time}"
-            )
-        self._advance(item.arrival)
-        if item.departure is None and getattr(
-            self.algorithm, "clairvoyant", True
-        ):
-            raise ClairvoyanceError(
-                f"clairvoyant algorithm {self.algorithm!r} received an item "
-                "with unknown departure"
-            )
-        masked = not getattr(self.algorithm, "clairvoyant", True)
-        view = item.masked() if masked else item
-        chosen = self.algorithm.place(view, self)
-        opened = self._pending_bin is not None
-        bin_ = self._commit(item, view, chosen)
-        if item.departure is not None:
-            heapq.heappush(
-                self._departures, (item.departure, self._next_seq, item.uid)
-            )
-            self._next_seq += 1
-        else:
-            self._adaptive.add(item.uid)
-        if self.metrics is not None:
-            self.metrics.on_arrival(
-                _time.perf_counter() - t0, opened=opened
-            )
-        if self._observers:
-            self._emit(
-                ArrivalEvent(
-                    time=self.time,
-                    seq=self.accounting.arrivals,
-                    item=item,
-                    bin_uid=bin_.uid,
-                    opened=opened,
-                )
-            )
-        return bin_
+    def on_advance(self, t: float) -> None:
+        self.accounting.advance(t)
 
-    def depart(self, uid: int, time: float) -> None:
-        """Force an adaptive item (unknown departure) out at ``time``."""
-        if time < self.time:
-            raise SimulationError(
-                f"departure at {time} is before the clock ({self.time})"
-            )
-        if uid not in self._item_bin:
-            raise PackingError(f"item {uid} is not active")
-        if uid not in self._adaptive:
-            raise SimulationError(
-                f"item {uid} has a scheduled departure; only adaptive items "
-                "may be departed explicitly"
-            )
-        self._advance(time)
-        self._adaptive.discard(uid)
-        self._do_departure(uid, time)
+    def on_open(self, bin_: Bin) -> None:
+        self.accounting.on_open(bin_.opened_at)
 
-    def advance_to(self, time: float) -> None:
-        """Move the clock to ``time``, processing due departures."""
-        if time < self.time:
-            raise SimulationError("time may not move backwards")
-        self._advance(time)
+    def on_arrival(self, item: Item, bin_: Bin, opened: bool) -> None:
+        self.accounting.on_arrival(item.size)
+        self._last_opened = opened
 
-    def run(self, source: ItemSource) -> EngineSummary:
-        """Drain an entire source, then :meth:`finish`."""
-        feed = self.feed
-        for item in source:
-            feed(item)
-        return self.finish()
-
-    def finish(self) -> EngineSummary:
-        """Process every remaining departure and return the summary."""
-        while self._departures:
-            t, _, _ = self._departures[0]
-            self._advance(t)
-        if self._item_bin:
-            alive = list(self._open.values())
-            raise SimulationError(
-                f"stream finished with items still active in bins {alive}; "
-                "adaptive items must be departed explicitly"
-            )
-        return self.summary()
-
-    # ------------------------------------------------------------------ #
-    # Results
-    # ------------------------------------------------------------------ #
-    def summary(self) -> EngineSummary:
-        acc = self.accounting
-        return EngineSummary(
-            algorithm=getattr(
-                self.algorithm, "name", type(self.algorithm).__name__
-            ),
-            capacity=self.capacity,
-            items=acc.arrivals,
-            cost=acc.cost_at(self.time),
-            bins_opened=acc.bins_opened,
-            bins_closed=acc.bins_closed,
-            max_open=acc.max_open,
-            peak_load=acc.peak_load,
-            util_area=acc.util_area,
-            final_time=self.time if math.isfinite(self.time) else None,
-        )
-
-    def result(self) -> PackingResult:
-        """The full :class:`PackingResult` (requires ``record=True``)."""
-        if not self.record:
-            raise SimulationError(
-                "result() needs Engine(record=True); the constant-memory "
-                "engine keeps no per-item history — use summary() instead"
-            )
-        if self._item_bin:
-            raise SimulationError("result() before the stream is drained")
-        return PackingResult(
-            algorithm=getattr(
-                self.algorithm, "name", type(self.algorithm).__name__
-            ),
-            items=tuple(self._items),
-            assignment=dict(self._assignment),
-            bins=tuple(self._records),
-            departed_at=dict(self._departed_at),
-            capacity=self.capacity,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Internals (mirroring IncrementalSimulation semantics exactly)
-    # ------------------------------------------------------------------ #
-    def _advance(self, until: float) -> None:
-        while self._departures:
-            t, _, uid = self._departures[0]
-            if t > until:
-                break
-            heapq.heappop(self._departures)
-            self._do_departure(uid, t)
-        if until > self.time:
-            self.accounting.advance(until)
-            self.time = until
-
-    def _do_departure(self, uid: int, t: float) -> None:
-        t0 = _time.perf_counter() if self.metrics is not None else 0.0
-        if t > self.time:
-            self.accounting.advance(t)
-            self.time = t
-        bin_ = self._item_bin.pop(uid, None)
-        if bin_ is None:
-            return  # duplicate schedule; ignore (matches batch simulator)
-        removed = bin_._remove(uid)
+    def on_departure(
+        self,
+        uid: int,
+        removed: Item,
+        bin_: Bin,
+        t: float,
+        closed: bool,
+        elapsed: float,
+    ) -> None:
         self.accounting.on_departure(
-            removed.size, any_active=bool(self._item_bin)
+            removed.size, any_active=self._kernel.has_active
         )
-        if self.record:
-            self._departed_at[uid] = t
-        hook = getattr(self.algorithm, "notify_departure", None)
-        if hook is not None:
-            hook(removed, bin_, self)
-        closed = bin_.n_items == 0
-        if closed:
-            self._close(bin_, t)
         if self.metrics is not None:
-            self.metrics.on_departure(_time.perf_counter() - t0)
+            self.metrics.on_departure(elapsed)
         if self._observers:
             self._emit(
                 DepartureEvent(
@@ -363,11 +256,10 @@ class Engine:
                 )
             )
 
-    def _close(self, bin_: Bin, t: float) -> None:
-        del self._open[bin_.uid]
-        peak = self._peak.pop(bin_.uid, 0.0)
-        n_items = self._bin_count.pop(bin_.uid, 0)
-        usage = self.accounting.on_close(bin_.opened_at, t)
+    def on_close(
+        self, bin_: Bin, t: float, usage: float, peak: float, n_items: int
+    ) -> None:
+        self.accounting.on_close(bin_.opened_at, t)
         if self.metrics is not None:
             self.metrics.on_bin_close(
                 n_items=n_items,
@@ -375,54 +267,89 @@ class Engine:
                 capacity=self.capacity,
                 usage=usage,
             )
-        if self.record:
-            self._records.append(
-                BinRecord(
-                    uid=bin_.uid,
-                    tag=bin_.tag,
-                    opened_at=bin_.opened_at,
-                    closed_at=t,
-                    item_uids=tuple(self._bin_items.pop(bin_.uid, ())),
-                    peak_load=peak,
+
+    # ------------------------------------------------------------------ #
+    # Driving API (delegates to the kernel)
+    # ------------------------------------------------------------------ #
+    def feed(self, item: Item) -> Bin:
+        """Release one item to the algorithm; returns the bin it chose.
+
+        Processes all scheduled departures up to the item's arrival
+        first — the kernel's semantics, shared with the batch simulator.
+        """
+        t0 = _time.perf_counter() if self.metrics is not None else 0.0
+        self._last_opened = False
+        bin_ = self._kernel.release(item)
+        if self.metrics is not None:
+            self.metrics.on_arrival(
+                _time.perf_counter() - t0, opened=self._last_opened
+            )
+        if self._observers:
+            self._emit(
+                ArrivalEvent(
+                    time=self._kernel.time,
+                    seq=self.accounting.arrivals,
+                    item=item,
+                    bin_uid=bin_.uid,
+                    opened=self._last_opened,
                 )
             )
-        hook = getattr(self.algorithm, "notify_close", None)
-        if hook is not None:
-            hook(bin_, self)
+        return bin_
 
-    def _commit(self, item: Item, view: Item, chosen) -> Bin:
-        pending, self._pending_bin = self._pending_bin, None
-        if not isinstance(chosen, Bin):
-            raise PackingError(f"place() must return a Bin, got {chosen!r}")
-        if pending is not None and chosen is not pending:
-            raise PackingError(
-                "place() opened a new bin but returned a different one"
-            )
-        if pending is None and chosen.uid not in self._open:
-            raise PackingError(
-                f"place() returned bin {chosen.uid} which is not open"
-            )
-        chosen._add(view)
-        if pending is not None:
-            self._open[chosen.uid] = chosen
-            self._next_bin_uid += 1
-            self.accounting.on_open(chosen.opened_at)
-        if chosen.load > self._peak.get(chosen.uid, 0.0):
-            self._peak[chosen.uid] = chosen.load
-        self._bin_count[chosen.uid] = self._bin_count.get(chosen.uid, 0) + 1
-        self.accounting.on_arrival(item.size)
-        self._item_bin[item.uid] = chosen
-        if self.record:
-            self._assignment[item.uid] = chosen.uid
-            self._bin_items.setdefault(chosen.uid, []).append(item.uid)
-            self._items.append(item)
-        return self._item_bin[item.uid]
+    def depart(self, uid: int, time: float) -> None:
+        """Force an adaptive item (unknown departure) out at ``time``."""
+        self._kernel.depart(uid, time)
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock to ``time``, processing due departures."""
+        self._kernel.advance_to(time)
+
+    def run(self, source: ItemSource) -> EngineSummary:
+        """Drain an entire source, then :meth:`finish`."""
+        feed = self.feed
+        for item in source:
+            feed(item)
+        return self.finish()
+
+    def finish(self) -> EngineSummary:
+        """Process every remaining departure and return the summary."""
+        self._kernel.drain()
+        return self.summary()
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def summary(self) -> EngineSummary:
+        acc = self.accounting
+        kernel = self._kernel
+        return EngineSummary(
+            algorithm=getattr(
+                kernel.algorithm, "name", type(kernel.algorithm).__name__
+            ),
+            capacity=kernel.capacity,
+            items=acc.arrivals,
+            cost=acc.cost_at(kernel.time),
+            bins_opened=acc.bins_opened,
+            bins_closed=acc.bins_closed,
+            max_open=acc.max_open,
+            peak_load=acc.peak_load,
+            util_area=acc.util_area,
+            final_time=kernel.time if math.isfinite(kernel.time) else None,
+        )
+
+    def result(self) -> PackingResult:
+        """The full :class:`PackingResult` (requires ``record=True``)."""
+        return self._kernel.result()
 
     def __repr__(self) -> str:
-        name = getattr(self.algorithm, "name", type(self.algorithm).__name__)
+        kernel = self._kernel
+        name = getattr(
+            kernel.algorithm, "name", type(kernel.algorithm).__name__
+        )
         return (
-            f"Engine(algorithm={name!r}, t={self.time:g}, "
-            f"open={len(self._open)}, cost={self.accounting.cost_at(self.time):.6g})"
+            f"Engine(algorithm={name!r}, t={kernel.time:g}, "
+            f"open={kernel.open_bin_count}, "
+            f"cost={self.accounting.cost_at(kernel.time):.6g})"
         )
 
 

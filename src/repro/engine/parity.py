@@ -1,20 +1,25 @@
-"""Batch/streaming parity: the engine's trust anchor.
+"""Batch/streaming parity: a regression guard, not a proof obligation.
 
-Every later optimisation builds on the streaming engine, so the engine
-must be *provably interchangeable* with the audited batch path.  This
-module checks, for a given algorithm and instance, that
+Since the kernel refactor, ``simulate()`` and the streaming
+:class:`~repro.engine.loop.Engine` are both thin adapters over the same
+:class:`~repro.core.kernel.PlacementKernel`, so batch/stream agreement
+holds **by construction** — there is exactly one implementation of the
+placement, commit, masking and departure semantics.  This module remains
+as the regression check that keeps that claim honest (e.g. against a
+future frontend accidentally growing its own semantics, or the engine's
+listener-driven accounting drifting from the kernel's close-order
+summation).  For a given algorithm and instance it asserts that
 
-- final **cost** matches ``simulate()`` bit-for-bit (same close-order
-  summation; the check still allows a 1e-9 slack so the contract is
-  stated in tolerant terms),
+- final **cost** matches ``simulate()`` bit-for-bit (the check still
+  allows a 1e-9 slack so the contract is stated in tolerant terms),
 - **max_open** matches exactly,
 - the item→bin **assignment** matches exactly, and
 - per-bin records (open/close times, members, peak loads) match.
 
 :func:`parity_suite` sweeps the full algorithm registry over every
 workload-generator family — general algorithms on the random/cloud
-generators, the aligned-only CDFF variants on binary/aligned inputs —
-and is what the engine test-suite and CI assert on.
+generators, the aligned-only CDFF variants on binary/aligned inputs.
+CI runs it as an explicit step: ``python -m repro.engine.parity``.
 """
 
 from __future__ import annotations
@@ -164,20 +169,57 @@ def default_parity_cells(
     return cells
 
 
+def parity_task(cell: Tuple[str, str, Instance]) -> ParityReport:
+    """Picklable worker for one sweep cell (``parallel_map``-friendly)."""
+    from ..parallel import _registry
+
+    name, wname, inst = cell
+    return check_parity(_registry()[name], inst, workload=wname)
+
+
 def parity_suite(
     cells: Optional[Iterable[Tuple[str, str, Instance]]] = None,
     *,
     seed: int = 0,
+    workers: int = 1,
 ) -> List[ParityReport]:
-    """Run the parity sweep; returns one report per cell."""
-    from ..parallel import _registry
+    """Run the parity sweep; returns one report per cell.
 
-    registry = _registry()
+    ``workers > 1`` fans the cells out over processes via
+    :func:`repro.parallel.parallel_map` (each cell is independent).
+    """
     if cells is None:
         cells = default_parity_cells(seed)
-    reports = []
-    for name, wname, inst in cells:
-        reports.append(
-            check_parity(registry[name], inst, workload=wname)
-        )
-    return reports
+    cells = list(cells)
+    if workers > 1:
+        from ..parallel import parallel_map
+
+        return parallel_map(parity_task, cells, workers=workers)
+    return [parity_task(cell) for cell in cells]
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.engine.parity`` — the CI parity gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.engine.parity",
+        description="Run the full batch/stream parity sweep and exit "
+        "non-zero on any mismatch.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+    reports = parity_suite(seed=args.seed, workers=args.workers)
+    failures = 0
+    for report in reports:
+        print(report)
+        failures += 0 if report.ok else 1
+    print(
+        f"parity sweep: {len(reports) - failures}/{len(reports)} cells ok"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(_main())

@@ -8,14 +8,19 @@ the rest of the package needs:
   debuggability first, parallelism opt-in (per the optimisation guide:
   measure before you parallelise);
 - tasks must be picklable: module-level functions and instances built
-  from frozen dataclasses qualify; lambdas do not — :func:`ratio_task`
-  is provided as a picklable work item for the common case.
+  from frozen dataclasses qualify; lambdas do not — :func:`ratio_task`,
+  :func:`replay_task` and :func:`repro.engine.parity.parity_task` are
+  provided as picklable work items for the common cases.
 
 Example::
 
     from repro.parallel import parallel_map, ratio_task
     cells = [("FirstFit", inst1), ("HybridAlgorithm", inst2)]
     ratios = parallel_map(ratio_task, cells, workers=4)
+
+Every task runs the shared :class:`~repro.core.kernel.PlacementKernel`
+(via ``simulate()`` or the streaming engine), so per-cell results are
+identical whether a sweep runs serially or across processes.
 """
 
 from __future__ import annotations
@@ -138,14 +143,17 @@ def ratio_task(cell: tuple[str, Instance]) -> float:
 # ---------------------------------------------------------------------- #
 # Sharded streaming replay (the engine's multi-worker entry point)
 # ---------------------------------------------------------------------- #
-def replay_task(cell: tuple[str, str]) -> dict:
+def replay_task(cell: tuple) -> dict:
     """Picklable work item: ``(algorithm name, trace path) → summary dict``.
 
     Streams the trace file through a fresh
     :class:`~repro.engine.loop.Engine` in constant memory; the returned
-    dict is :meth:`~repro.engine.loop.EngineSummary.to_dict`.
+    dict is :meth:`~repro.engine.loop.EngineSummary.to_dict`.  An
+    optional third cell element (bool) disables the kernel's open-bin
+    index (``indexed=False``, the linear-scan fallback).
     """
-    name, path = cell
+    name, path = cell[0], cell[1]
+    indexed = cell[2] if len(cell) > 2 else True
     registry = _registry()
     if name not in registry:
         raise KeyError(
@@ -153,7 +161,8 @@ def replay_task(cell: tuple[str, str]) -> dict:
         )
     from .engine import Engine, open_trace
 
-    return Engine(registry[name]()).run(open_trace(path)).to_dict()
+    engine = Engine(registry[name](), indexed=indexed)
+    return engine.run(open_trace(path)).to_dict()
 
 
 def replay_sharded(
@@ -161,6 +170,7 @@ def replay_sharded(
     algorithm: str = "HybridAlgorithm",
     *,
     workers: int = 1,
+    indexed: bool = True,
 ) -> dict:
     """Replay many trace shards, one independent engine per shard.
 
@@ -172,7 +182,7 @@ def replay_sharded(
 
     Returns the aggregated totals plus the per-shard summaries.
     """
-    cells = [(algorithm, str(p)) for p in paths]
+    cells = [(algorithm, str(p), indexed) for p in paths]
     shards = parallel_map(replay_task, cells, workers=workers)
     return {
         "algorithm": algorithm,

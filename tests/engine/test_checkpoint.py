@@ -15,6 +15,7 @@ from repro.engine import (
     save_checkpoint,
     snapshot,
 )
+from repro.engine.checkpoint import CHECKPOINT_VERSION
 from repro.workloads import binary_input, uniform_random
 
 
@@ -95,7 +96,7 @@ def test_checkpoint_metadata():
     ckpt = snapshot(eng)
     assert ckpt.time == eng.time
     assert ckpt.cost_so_far == pytest.approx(eng.cost_so_far)
-    assert ckpt.version == 1
+    assert ckpt.version == CHECKPOINT_VERSION == 2
 
 
 def test_reject_wrong_payload(tmp_path):
@@ -113,6 +114,35 @@ def test_reject_future_version():
     )
     with pytest.raises(SimulationError):
         Checkpoint.loads(ckpt.dumps())
+
+
+def test_reject_v1_checkpoint_with_clear_message(tmp_path):
+    # a pre-kernel (PR-1) checkpoint: same envelope, version 1, whose
+    # blob we never get to unpickle — the version gate fires first
+    ckpt = Checkpoint(
+        version=1, arrivals=10, time=3.0, cost_so_far=5.0,
+        blob=b"\x80\x05}\x94.",
+    )
+    path = tmp_path / "old.ckpt"
+    path.write_bytes(ckpt.dumps())
+    with pytest.raises(SimulationError, match=r"format v1.*pre-kernel"):
+        load_checkpoint(path)
+
+
+def test_restored_kernel_hooks_rewired():
+    # the kernel drops its listener/facade at pickle time; restore must
+    # re-attach them so accounting keeps tracking post-resume events
+    items = list(uniform_random(40, 8, seed=12))
+    eng = Engine(FirstFit())
+    for it in items[:20]:
+        eng.feed(it)
+    resumed = restore(snapshot(eng))
+    assert resumed._kernel._listener is resumed
+    assert resumed._kernel._facade is resumed
+    before = resumed.accounting.arrivals
+    for it in items[20:]:
+        resumed.feed(it)
+    assert resumed.accounting.arrivals == before + 20
 
 
 def test_observers_not_checkpointed():
