@@ -11,6 +11,7 @@ Subcommands::
     repro-dbp demo                 # a 10-second guided tour
     repro-dbp pack t.csv -a CDFF   # batch-pack a trace file
     repro-dbp replay t.jsonl       # stream a trace (constant memory)
+    repro-dbp obs summarize t.out  # aggregate a --trace JSONL by event
 """
 
 from __future__ import annotations
@@ -35,16 +36,19 @@ _GROUPS = {
 }
 
 
-def _run(ids: Iterable[str]) -> int:
+def _run(ids: Iterable[str], *, profile: bool = False) -> int:
+    from .experiments.runner import run_experiment
+
     failures = 0
     for eid in ids:
-        fn = EXPERIMENTS.get(eid)
-        if fn is None:
+        if eid not in EXPERIMENTS:
             print(f"unknown experiment id: {eid}", file=sys.stderr)
             failures += 1
             continue
-        result = fn()
+        result, report = run_experiment(eid, profile=profile)
         print(result.render())
+        if report is not None:
+            print(report.render())
         if not result.passed:
             failures += 1
     return failures
@@ -84,6 +88,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub.add_parser("list", help="list registered experiment ids")
     runp = sub.add_parser("run", help="run experiments by id")
     runp.add_argument("ids", nargs="+", metavar="EXPERIMENT_ID")
+    runp.add_argument(
+        "--profile", action="store_true",
+        help="profile each experiment (wall time, peak RSS, tracemalloc)",
+    )
     for group in _GROUPS:
         sub.add_parser(group, help=f"run the {group} experiments")
     sub.add_parser("all", help="run every registered experiment")
@@ -170,6 +178,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="also run batch simulate() and assert engine/batch parity "
         "(loads the whole trace into memory)",
     )
+    replayp.add_argument(
+        "--trace", metavar="OUT.jsonl", dest="trace_out",
+        help="record a kernel event trace (spans+events) to a JSONL file",
+    )
+    replayp.add_argument(
+        "--trace-capacity", type=int, metavar="N", default=0,
+        help="trace ring-buffer capacity (default: 32768; oldest events "
+        "are dropped beyond this)",
+    )
+    replayp.add_argument(
+        "--profile", action="store_true",
+        help="profile the replay (wall time, peak RSS, tracemalloc)",
+    )
+    obsp = sub.add_parser(
+        "obs", help="observability utilities (trace summaries)"
+    )
+    obssub = obsp.add_subparsers(dest="obs_command", required=True)
+    obssump = obssub.add_parser(
+        "summarize", help="aggregate a JSONL trace written by replay --trace"
+    )
+    obssump.add_argument("trace", help="trace file written by --trace")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -193,8 +222,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _pack(args)
     if args.command == "replay":
         return _replay(args)
+    if args.command == "obs":
+        return _obs(args)
     if args.command == "run":
-        return _run(args.ids)
+        return _run(args.ids, profile=args.profile)
     if args.command == "all":
         return _run(sorted(EXPERIMENTS))
     return _run(_GROUPS[args.command])
@@ -271,6 +302,17 @@ def _replay(args) -> int:
         )
         return 1
 
+    tracer = None
+    if args.trace_out:
+        from .obs import DEFAULT_CAPACITY, Tracer
+
+        tracer = Tracer(args.trace_capacity or DEFAULT_CAPACITY)
+    profiler = None
+    if args.profile:
+        from .obs import PhaseProfiler
+
+        profiler = PhaseProfiler(trace_malloc=True, top_allocations=3)
+
     metrics = EngineMetrics()
     if args.resume:
         engine = load_checkpoint(args.resume)
@@ -283,6 +325,8 @@ def _replay(args) -> int:
             return 1
         engine.metrics = metrics if engine.metrics is None else engine.metrics
         metrics = engine.metrics
+        if tracer is not None:
+            engine.attach_tracer(tracer)
         skip = engine.accounting.arrivals
         print(
             f"resumed from {args.resume}: {skip} items already fed, "
@@ -295,6 +339,7 @@ def _replay(args) -> int:
             metrics=metrics,
             record=args.verify,
             indexed=not args.no_index,
+            tracer=tracer,
         )
         skip = 0
 
@@ -304,17 +349,27 @@ def _replay(args) -> int:
     ckpt_path = args.checkpoint or f"{args.trace}.ckpt"
     every = max(0, args.checkpoint_every)
 
+    def _feed_all() -> None:
+        nonlocal fed
+        for item in source:
+            if fed < skip:  # already applied before the checkpoint
+                fed += 1
+                continue
+            engine.feed(item)
+            fed += 1
+            if every and fed % every == 0:
+                save_checkpoint(engine, ckpt_path)
+
     t0 = _time.perf_counter()
     fed = 0
-    for item in source:
-        if fed < skip:  # already applied before the checkpoint
-            fed += 1
-            continue
-        engine.feed(item)
-        fed += 1
-        if every and fed % every == 0:
-            save_checkpoint(engine, ckpt_path)
-    summary = engine.finish()
+    if profiler is not None:
+        with profiler.phase("replay"):
+            _feed_all()
+        with profiler.phase("drain"):
+            summary = engine.finish()
+    else:
+        _feed_all()
+        summary = engine.finish()
     elapsed = _time.perf_counter() - t0
 
     events = summary.items + engine.accounting.departures
@@ -333,6 +388,12 @@ def _replay(args) -> int:
     if args.metrics:
         metrics.flush(JSONSink(args.metrics), extra=summary.to_dict())
         print(f"metrics written to {args.metrics}")
+    if tracer is not None:
+        written = tracer.write_jsonl(args.trace_out)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"trace: {written} events -> {args.trace_out}{dropped}")
+    if profiler is not None:
+        print(profiler.report().render())
     if args.verify:
         from .core.instance import Instance
         from .core.simulation import simulate
@@ -357,6 +418,19 @@ def _replay(args) -> int:
         if not ok:
             return 1
     return 0
+
+
+def _obs(args) -> int:
+    from .obs import summarize_trace
+
+    if args.obs_command == "summarize":
+        try:
+            print(summarize_trace(args.trace))
+        except (OSError, ValueError) as exc:
+            print(f"obs summarize: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    return 1
 
 
 if __name__ == "__main__":

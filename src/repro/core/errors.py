@@ -14,6 +14,7 @@ __all__ = [
     "CapacityExceededError",
     "PackingError",
     "SimulationError",
+    "CheckpointError",
     "ClairvoyanceError",
     "AlignmentError",
 ]
@@ -41,6 +42,15 @@ class PackingError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation was driven incorrectly (time moved backwards, ...)."""
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint cannot be used: truncated, corrupted, or wrong format.
+
+    Subclasses :class:`SimulationError` so existing ``except
+    SimulationError`` handlers keep working; raised instead of bare
+    pickle errors so a damaged file is diagnosable from the message.
+    """
 
 
 class ClairvoyanceError(ReproError):

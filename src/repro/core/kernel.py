@@ -70,7 +70,12 @@ from .errors import (
 from .item import Item
 from .result import PackingResult
 
-__all__ = ["PlacementKernel", "OpenBinIndex", "KernelListener"]
+__all__ = [
+    "PlacementKernel",
+    "OpenBinIndex",
+    "KernelListener",
+    "ListenerFanout",
+]
 
 _NEG_INF = float("-inf")
 
@@ -110,6 +115,55 @@ class KernelListener:
         self, bin_: Bin, t: float, usage: float, peak: float, n_items: int
     ) -> None:
         """``bin_`` became empty and was closed at ``t``."""
+
+
+class ListenerFanout(KernelListener):
+    """Broadcast one kernel's event stream to several listeners.
+
+    Pure dispatch — callbacks run in registration order and no event is
+    reordered or filtered, so attaching an observability listener (e.g.
+    :class:`repro.obs.trace.TracingListener`) next to a frontend's own
+    accounting listener can never change semantics.  ``timed`` is the OR
+    over members: one latency-hungry listener is enough to make the
+    kernel measure per-departure wall time.
+    """
+
+    def __init__(self, listeners) -> None:
+        self.listeners = list(listeners)
+
+    @property
+    def timed(self) -> bool:  # type: ignore[override]
+        return any(listener.timed for listener in self.listeners)
+
+    def on_advance(self, t: float) -> None:
+        for listener in self.listeners:
+            listener.on_advance(t)
+
+    def on_open(self, bin_: Bin) -> None:
+        for listener in self.listeners:
+            listener.on_open(bin_)
+
+    def on_arrival(self, item: Item, bin_: Bin, opened: bool) -> None:
+        for listener in self.listeners:
+            listener.on_arrival(item, bin_, opened)
+
+    def on_departure(
+        self,
+        uid: int,
+        removed: Item,
+        bin_: Bin,
+        t: float,
+        closed: bool,
+        elapsed: float,
+    ) -> None:
+        for listener in self.listeners:
+            listener.on_departure(uid, removed, bin_, t, closed, elapsed)
+
+    def on_close(
+        self, bin_: Bin, t: float, usage: float, peak: float, n_items: int
+    ) -> None:
+        for listener in self.listeners:
+            listener.on_close(bin_, t, usage, peak, n_items)
 
 
 class OpenBinIndex:
@@ -310,6 +364,14 @@ class PlacementKernel:
         self._adaptive: set[int] = set()  # uids with unknown departure
         self._pending_bin: Optional[Bin] = None
         self._index: Optional[OpenBinIndex] = OpenBinIndex() if indexed else None
+        if isinstance(listener, (list, tuple)):
+            listener = (
+                None
+                if not listener
+                else listener[0]
+                if len(listener) == 1
+                else ListenerFanout(listener)
+            )
         self._listener = listener
         self._facade = facade if facade is not None else self
         # record-mode history (stays empty unless record=True)
@@ -355,6 +417,20 @@ class PlacementKernel:
     def is_open(self, uid: int) -> bool:
         """Whether bin ``uid`` is currently open (O(1))."""
         return uid in self._open
+
+    def add_listener(self, listener: KernelListener) -> None:
+        """Attach one more :class:`KernelListener` (fan-out on demand).
+
+        Used by frontends to bolt observability (tracing, extra metrics)
+        onto an already-constructed kernel — e.g. after a checkpoint
+        restore, which drops listeners by design.
+        """
+        if self._listener is None:
+            self._listener = listener
+        elif isinstance(self._listener, ListenerFanout):
+            self._listener.listeners.append(listener)
+        else:
+            self._listener = ListenerFanout([self._listener, listener])
 
     def open_bin(self, tag: Hashable = None) -> Bin:
         """Called *by the algorithm inside place()* to open a fresh bin.

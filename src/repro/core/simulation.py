@@ -55,10 +55,19 @@ class IncrementalSimulation:
     indexed:
         Maintain the kernel's O(log n) open-bin index (default).  Pass
         ``False`` for the plain linear-scan placement queries.
+    listener:
+        Optional :class:`~repro.core.kernel.KernelListener` (or sequence
+        of them) observing every kernel event — the hook the
+        observability layer (:mod:`repro.obs`) uses.
     """
 
     def __init__(
-        self, algorithm, *, capacity: float = 1.0, indexed: bool = True
+        self,
+        algorithm,
+        *,
+        capacity: float = 1.0,
+        indexed: bool = True,
+        listener=None,
     ) -> None:
         self._kernel = PlacementKernel(
             algorithm,
@@ -66,6 +75,7 @@ class IncrementalSimulation:
             record=True,
             record_events=True,
             indexed=indexed,
+            listener=listener,
             facade=self,
         )
 
@@ -159,10 +169,21 @@ def simulate(
     *,
     capacity: float = 1.0,
     indexed: bool = True,
+    listener=None,
 ) -> PackingResult:
-    """Run ``algorithm`` over ``instance`` and return the audited result."""
+    """Run ``algorithm`` over ``instance`` and return the audited result.
+
+    ``listener`` (a :class:`~repro.core.kernel.KernelListener` or a
+    sequence of them) observes every kernel event — this is how the
+    observability layer (:mod:`repro.obs`) traces or meters a batch run
+    without touching its semantics.
+    """
     kernel = PlacementKernel(
-        algorithm, capacity=capacity, record=True, indexed=indexed
+        algorithm,
+        capacity=capacity,
+        record=True,
+        indexed=indexed,
+        listener=listener,
     )
     release = kernel.release
     for item in instance:

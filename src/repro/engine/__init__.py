@@ -26,6 +26,7 @@ or from the shell::
 from .accounting import RunningAccounting
 from .checkpoint import (
     Checkpoint,
+    CheckpointError,
     load_checkpoint,
     restore,
     save_checkpoint,
@@ -38,11 +39,14 @@ from .metrics import (
     ConsoleSink,
     Counter,
     EngineMetrics,
+    Gauge,
     Histogram,
     JSONLSink,
     JSONSink,
+    MemorySink,
     MetricsSink,
     Timing,
+    merge_metrics,
 )
 from .parity import ParityReport, check_parity, default_parity_cells, parity_suite
 from .stream import (
@@ -68,19 +72,23 @@ __all__ = [
     "DepartureEvent",
     "CheckpointEvent",
     "Checkpoint",
+    "CheckpointError",
     "snapshot",
     "restore",
     "save_checkpoint",
     "load_checkpoint",
     "EngineMetrics",
+    "merge_metrics",
     "MetricsSink",
     "Counter",
+    "Gauge",
     "Histogram",
     "Timing",
     "ConsoleSink",
     "JSONSink",
     "JSONLSink",
     "CallbackSink",
+    "MemorySink",
     "ParityReport",
     "check_parity",
     "parity_suite",

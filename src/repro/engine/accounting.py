@@ -158,6 +158,21 @@ class RunningAccounting:
         values = np.round(np.cumsum(sums)[:-1])
         return LoadProfile(bps, values)
 
+    def gauges(self) -> dict:
+        """Instantaneous gauge values for the observability layer.
+
+        The subset of :meth:`to_dict` that reads as "right now" rather
+        than "so far" — what ``repro-dbp replay --profile`` and metric
+        sinks report as gauges.
+        """
+        return {
+            "open_count": self.open_count,
+            "load": self.load,
+            "cost_so_far": self.cost_at(),
+            "max_open": self.max_open,
+            "peak_load": self.peak_load,
+        }
+
     def to_dict(self) -> dict:
         """A JSON-friendly snapshot of every running total."""
         return {

@@ -38,12 +38,13 @@ import pickle
 from dataclasses import dataclass
 from typing import Union
 
-from ..core.errors import SimulationError
+from ..core.errors import CheckpointError, SimulationError
 from .loop import Engine
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
+    "CheckpointError",
     "snapshot",
     "restore",
     "save_checkpoint",
@@ -77,20 +78,29 @@ class Checkpoint:
 
     @classmethod
     def loads(cls, data: bytes) -> "Checkpoint":
-        ckpt = pickle.loads(data)
+        try:
+            ckpt = pickle.loads(data)
+        except Exception as exc:
+            # a truncated or corrupted file surfaces as any of half a
+            # dozen pickle-layer exceptions; translate them all into one
+            # diagnosable error instead of a bare UnpicklingError
+            raise CheckpointError(
+                "checkpoint data is unreadable (truncated or corrupted "
+                f"file?): {type(exc).__name__}: {exc}"
+            ) from exc
         if not isinstance(ckpt, cls):
-            raise SimulationError(
+            raise CheckpointError(
                 f"not a checkpoint payload: {type(ckpt).__name__}"
             )
         if ckpt.version != CHECKPOINT_VERSION:
             if ckpt.version == 1:
-                raise SimulationError(
+                raise CheckpointError(
                     "checkpoint format v1 (pre-kernel engine state) is no "
                     "longer loadable: this version stores the unified "
                     f"placement kernel as format v{CHECKPOINT_VERSION}. "
                     "Re-run the stream to write a fresh checkpoint."
                 )
-            raise SimulationError(
+            raise CheckpointError(
                 f"checkpoint version {ckpt.version} is not supported "
                 f"(expected {CHECKPOINT_VERSION})"
             )
@@ -129,16 +139,30 @@ def restore(checkpoint: Checkpoint) -> Engine:
 
     The result is fully independent of the engine that produced the
     snapshot (the blob round-trip deep-copies everything), with no
-    observers and whatever metrics were captured.  The kernel's listener
-    and facade hooks (dropped at pickle time) are re-wired to the new
-    engine.
+    observers, no tracer, no extra listeners, and whatever metrics were
+    captured.  The kernel's listener and facade hooks (dropped at pickle
+    time) are re-wired to the new engine; re-attach observability via
+    :meth:`~repro.engine.loop.Engine.attach_tracer` /
+    :meth:`~repro.engine.loop.Engine.attach_listener`.
     """
-    state = pickle.loads(checkpoint.blob)
+    try:
+        state = pickle.loads(checkpoint.blob)
+    except Exception as exc:
+        raise CheckpointError(
+            "checkpoint blob is unreadable (truncated or corrupted "
+            f"file?): {type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(state, dict) or not set(_STATE_ATTRS) <= set(state):
+        raise CheckpointError(
+            "checkpoint blob does not contain engine state "
+            f"(expected keys {_STATE_ATTRS})"
+        )
     engine = object.__new__(Engine)
     for name, value in state.items():
         setattr(engine, name, value)
     engine._observers = []
     engine._last_opened = False
+    engine.tracer = None
     kernel = engine._kernel
     kernel._listener = engine
     kernel._facade = engine

@@ -40,8 +40,9 @@ from typing import Callable, List, Optional
 
 from ..core.bins import Bin, BinRecord
 from ..core.item import Item
-from ..core.kernel import PlacementKernel
+from ..core.kernel import KernelListener, PlacementKernel
 from ..core.result import PackingResult
+from ..obs.trace import Tracer, TracingListener
 from .accounting import RunningAccounting
 from .events import ArrivalEvent, DepartureEvent, Event
 from .metrics import EngineMetrics
@@ -105,6 +106,19 @@ class Engine:
     indexed:
         Maintain the kernel's O(log n) open-bin index (default).  Pass
         ``False`` for plain linear-scan placement queries.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given (and
+        enabled), a :class:`~repro.obs.trace.TracingListener` is fanned
+        in next to the engine's own kernel listener so every kernel
+        event lands in the ring buffer.  A tracer that is *disabled at
+        construction* is not attached at all — tracing off costs
+        nothing (the contract ``benchmarks/bench_obs.py`` freezes).
+    listeners:
+        Extra :class:`~repro.core.kernel.KernelListener` objects to fan
+        kernel events out to (e.g. the deterministic
+        :class:`~repro.obs.metrics.MetricsListener`).  Like observers,
+        they are not checkpointed — re-attach after a restore via
+        :meth:`attach_listener`.
     """
 
     def __init__(
@@ -116,18 +130,24 @@ class Engine:
         record: bool = False,
         record_profile: bool = False,
         indexed: bool = True,
+        tracer: Optional[Tracer] = None,
+        listeners: tuple = (),
     ) -> None:
         self.metrics = metrics
         self.record = record
+        self.tracer = tracer
         self.accounting = RunningAccounting(record_profile=record_profile)
         self._observers: List[Callable[[Event], None]] = []
         self._last_opened = False
+        extra: List[KernelListener] = list(listeners)
+        if tracer is not None and tracer.enabled:
+            extra.append(TracingListener(tracer))
         self._kernel = PlacementKernel(
             algorithm,
             capacity=capacity,
             record=record,
             indexed=indexed,
-            listener=self,
+            listener=self if not extra else [self, *extra],
             facade=self,
         )
 
@@ -212,6 +232,24 @@ class Engine:
         for obs in self._observers:
             obs(event)
 
+    def attach_listener(self, listener: KernelListener) -> None:
+        """Fan kernel events out to one more listener, mid-run.
+
+        Listeners (like observers) are not checkpointed; call this again
+        after a restore.
+        """
+        self._kernel.add_listener(listener)
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Attach an (enabled) tracer to an already-built engine.
+
+        The CLI resume path uses this: ``load_checkpoint`` rebuilds the
+        engine without listeners, then ``--trace`` re-wires tracing.
+        """
+        self.tracer = tracer
+        if tracer.enabled:
+            self.attach_listener(TracingListener(tracer))
+
     # ------------------------------------------------------------------ #
     # Kernel listener callbacks: fold events into accounting/metrics
     # ------------------------------------------------------------------ #
@@ -281,8 +319,12 @@ class Engine:
         self._last_opened = False
         bin_ = self._kernel.release(item)
         if self.metrics is not None:
+            capacity = bin_.capacity
             self.metrics.on_arrival(
-                _time.perf_counter() - t0, opened=self._last_opened
+                _time.perf_counter() - t0,
+                opened=self._last_opened,
+                residual=bin_.residual() / capacity if capacity else 0.0,
+                open_bins=self._kernel.open_bin_count,
             )
         if self._observers:
             self._emit(
@@ -359,6 +401,9 @@ def replay(
     *,
     capacity: float = 1.0,
     metrics: Optional[EngineMetrics] = None,
+    tracer: Optional[Tracer] = None,
 ) -> EngineSummary:
     """One-shot convenience: stream ``source`` through a fresh engine."""
-    return Engine(algorithm, capacity=capacity, metrics=metrics).run(source)
+    return Engine(
+        algorithm, capacity=capacity, metrics=metrics, tracer=tracer
+    ).run(source)

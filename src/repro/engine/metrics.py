@@ -1,5 +1,14 @@
 """Observability for the streaming engine: counters, histograms, timings.
 
+Since the unified observability layer landed, the primitives (Counter /
+Gauge / Histogram / Timing) and the sinks live in :mod:`repro.obs` and
+are re-exported here unchanged — every name this module has always
+exported keeps working.  What remains engine-specific is
+:class:`EngineMetrics`: the registry of per-event metrics the streaming
+:class:`~repro.engine.loop.Engine` updates, which adds the wall-clock
+quantities (placement/departure latency) the frontend-independent
+:class:`~repro.obs.metrics.MetricsListener` deliberately excludes.
+
 Everything here is dependency-free and bounded-memory: histograms have
 fixed bucket edges, timings keep aggregates (count/total/min/max), and no
 per-event history is retained, so the metrics layer never breaks the
@@ -10,199 +19,59 @@ Sinks are deliberately decoupled from the registry: an
 checkpoints), while sinks — which may own file handles — are passed to
 :meth:`EngineMetrics.flush` at emission time.  Anything with an
 ``emit(snapshot: dict)`` method is a sink.
+
+Snapshot layout contract: ``counters`` and ``histograms`` contain only
+**deterministic** quantities (identical across reruns, across frontends,
+and across ``--no-index``); everything wall-clock lives under
+``timings`` (including the ``placement_latency`` histogram).  The
+``--no-index`` CLI regression test relies on this split.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-import sys
-from typing import Callable, Iterable, Optional, Protocol, Sequence, Union
+from typing import Iterable, Optional, Union
+
+from ..obs.export import (
+    CallbackSink,
+    ConsoleSink,
+    JSONLSink,
+    JSONSink,
+    MemorySink,
+    MetricsSink,
+)
+from ..obs.metrics import (
+    BINS_OPEN_EDGES,
+    LATENCY_EDGES,
+    LIFETIME_EDGES,
+    OCCUPANCY_EDGES,
+    RESIDUAL_EDGES,
+    UTILIZATION_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    Timing,
+    merge_metrics,
+)
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "Timing",
     "EngineMetrics",
+    "merge_metrics",
     "MetricsSink",
     "ConsoleSink",
     "JSONSink",
     "JSONLSink",
     "CallbackSink",
+    "MemorySink",
 ]
 
-
-class Counter:
-    """A monotonically increasing integer."""
-
-    __slots__ = ("value",)
-
-    def __init__(self) -> None:
-        self.value = 0
-
-    def inc(self, n: int = 1) -> None:
-        self.value += n
-
-    def to_dict(self) -> int:
-        return self.value
-
-    def __getstate__(self):
-        return self.value
-
-    def __setstate__(self, state):
-        self.value = state
-
-    def __repr__(self) -> str:
-        return f"Counter({self.value})"
-
-
-class Histogram:
-    """Fixed-bucket histogram: counts of observations per ``(lo, hi]`` bucket.
-
-    ``edges`` are the inner boundaries; an observation lands in bucket
-    ``i`` when ``edges[i-1] < x <= edges[i]``, with under/overflow buckets
-    at the ends.  Memory is O(len(edges)) forever.
-    """
-
-    __slots__ = ("edges", "counts", "total", "sum")
-
-    def __init__(self, edges: Sequence[float]) -> None:
-        self.edges = tuple(sorted(edges))
-        if not self.edges:
-            raise ValueError("histogram needs at least one bucket edge")
-        self.counts = [0] * (len(self.edges) + 1)
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, x: float) -> None:
-        lo, hi = 0, len(self.edges)
-        while lo < hi:  # bisect_left over edges
-            mid = (lo + hi) // 2
-            if self.edges[mid] < x:
-                lo = mid + 1
-            else:
-                hi = mid
-        self.counts[lo] += 1
-        self.total += 1
-        self.sum += x
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def to_dict(self) -> dict:
-        buckets = {}
-        prev = None
-        for i, edge in enumerate(self.edges):
-            label = f"<= {edge:g}" if prev is None else f"({prev:g}, {edge:g}]"
-            buckets[label] = self.counts[i]
-            prev = edge
-        buckets[f"> {self.edges[-1]:g}"] = self.counts[-1]
-        return {"total": self.total, "mean": self.mean, "buckets": buckets}
-
-    def __getstate__(self):
-        return (self.edges, self.counts, self.total, self.sum)
-
-    def __setstate__(self, state):
-        self.edges, self.counts, self.total, self.sum = state
-
-
-class Timing:
-    """Aggregate of elapsed-time observations (seconds)."""
-
-    __slots__ = ("count", "total", "min", "max")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def observe(self, dt: float) -> None:
-        self.count += 1
-        self.total += dt
-        if dt < self.min:
-            self.min = dt
-        if dt > self.max:
-            self.max = dt
-
-    def to_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "total_s": self.total,
-            "mean_us": 1e6 * self.total / self.count if self.count else 0.0,
-            "min_us": 1e6 * self.min if self.count else 0.0,
-            "max_us": 1e6 * self.max,
-        }
-
-    def __getstate__(self):
-        return (self.count, self.total, self.min, self.max)
-
-    def __setstate__(self, state):
-        self.count, self.total, self.min, self.max = state
-
-
-# ---------------------------------------------------------------------- #
-# Sinks
-# ---------------------------------------------------------------------- #
-class MetricsSink(Protocol):
-    """Anything that accepts metric snapshots."""
-
-    def emit(self, snapshot: dict) -> None: ...
-
-
-class ConsoleSink:
-    """Pretty-print the snapshot to a stream (stderr by default)."""
-
-    def __init__(self, stream=None) -> None:
-        self.stream = stream
-
-    def emit(self, snapshot: dict) -> None:
-        stream = self.stream if self.stream is not None else sys.stderr
-        json.dump(snapshot, stream, indent=2, sort_keys=True)
-        stream.write("\n")
-
-
-class JSONSink:
-    """Write the latest snapshot to ``path`` (overwriting)."""
-
-    def __init__(self, path: Union[str, pathlib.Path]) -> None:
-        self.path = pathlib.Path(path)
-
-    def emit(self, snapshot: dict) -> None:
-        self.path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
-
-
-class JSONLSink:
-    """Append one snapshot per line — for periodic mid-stream flushes."""
-
-    def __init__(self, path: Union[str, pathlib.Path]) -> None:
-        self.path = pathlib.Path(path)
-
-    def emit(self, snapshot: dict) -> None:
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
-
-
-class CallbackSink:
-    """Adapt a plain callable into a sink."""
-
-    def __init__(self, fn: Callable[[dict], None]) -> None:
-        self.fn = fn
-
-    def emit(self, snapshot: dict) -> None:
-        self.fn(snapshot)
-
-
-# ---------------------------------------------------------------------- #
-# The registry
-# ---------------------------------------------------------------------- #
-#: occupancy buckets: items ever packed into a bin over its lifetime
-_OCCUPANCY_EDGES = (1, 2, 3, 5, 8, 13, 21, 34)
-#: peak-load buckets as a fraction of capacity
-_UTILIZATION_EDGES = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
-#: bin lifetime buckets (usage time, powers of two)
-_LIFETIME_EDGES = (0.5, 1, 2, 4, 8, 16, 32, 64, 128)
+# legacy aliases, kept for anything importing the private names
+_OCCUPANCY_EDGES = OCCUPANCY_EDGES
+_UTILIZATION_EDGES = UTILIZATION_EDGES
+_LIFETIME_EDGES = LIFETIME_EDGES
 
 
 class EngineMetrics:
@@ -215,19 +84,34 @@ class EngineMetrics:
         self.bins_opened = Counter()
         self.bins_closed = Counter()
         self.checkpoints = Counter()
-        self.bin_occupancy = Histogram(_OCCUPANCY_EDGES)
-        self.bin_utilization = Histogram(_UTILIZATION_EDGES)
-        self.bin_lifetime = Histogram(_LIFETIME_EDGES)
+        self.bin_occupancy = Histogram(OCCUPANCY_EDGES)
+        self.bin_utilization = Histogram(UTILIZATION_EDGES)
+        self.bin_lifetime = Histogram(LIFETIME_EDGES)
+        self.residual_at_placement = Histogram(RESIDUAL_EDGES)
+        self.bins_open = Histogram(BINS_OPEN_EDGES)
+        self.placement_latency = Histogram(LATENCY_EDGES)
         self.arrival_latency = Timing()
         self.departure_latency = Timing()
 
     # -- engine hooks --------------------------------------------------- #
-    def on_arrival(self, latency_s: float, *, opened: bool) -> None:
+    def on_arrival(
+        self,
+        latency_s: float,
+        *,
+        opened: bool,
+        residual: Optional[float] = None,
+        open_bins: Optional[int] = None,
+    ) -> None:
         self.events.inc()
         self.arrivals.inc()
         if opened:
             self.bins_opened.inc()
         self.arrival_latency.observe(latency_s)
+        self.placement_latency.observe(latency_s)
+        if residual is not None:
+            self.residual_at_placement.observe(residual)
+        if open_bins is not None:
+            self.bins_open.observe(open_bins)
 
     def on_departure(self, latency_s: float) -> None:
         self.events.inc()
@@ -245,6 +129,18 @@ class EngineMetrics:
     def on_checkpoint(self) -> None:
         self.checkpoints.inc()
 
+    # -- merge (per-shard aggregation) ---------------------------------- #
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold another registry's totals into this one, field by field.
+
+        Exact for counters and histograms; timings combine count/total
+        and keep the global min/max.  This is what
+        :func:`repro.parallel.replay_sharded` uses to aggregate
+        per-shard metrics into one fleet-wide registry.
+        """
+        for name, metric in vars(self).items():
+            metric.merge(getattr(other, name))
+
     # -- export --------------------------------------------------------- #
     def snapshot(self, extra: Optional[dict] = None) -> dict:
         snap = {
@@ -260,10 +156,13 @@ class EngineMetrics:
                 "bin_occupancy": self.bin_occupancy.to_dict(),
                 "bin_utilization": self.bin_utilization.to_dict(),
                 "bin_lifetime": self.bin_lifetime.to_dict(),
+                "residual_at_placement": self.residual_at_placement.to_dict(),
+                "bins_open": self.bins_open.to_dict(),
             },
             "timings": {
                 "arrival_latency": self.arrival_latency.to_dict(),
                 "departure_latency": self.departure_latency.to_dict(),
+                "placement_latency": self.placement_latency.to_dict(),
             },
         }
         if extra:
@@ -282,3 +181,4 @@ class EngineMetrics:
         for sink in sinks:  # type: ignore[union-attr]
             sink.emit(snap)
         return snap
+

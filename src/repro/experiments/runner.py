@@ -10,10 +10,18 @@ from __future__ import annotations
 
 import csv
 import io
+import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS", "register"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "register",
+    "run_experiment",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -80,3 +88,39 @@ def register(experiment_id: str):
         return fn
 
     return deco
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    profile: bool = False,
+    profile_dir: Optional[Union[str, pathlib.Path]] = None,
+) -> Tuple[ExperimentResult, Optional["object"]]:
+    """Run one registered experiment, optionally under the profiler.
+
+    Returns ``(result, report)``; ``report`` is ``None`` unless
+    ``profile=True``, in which case it is a
+    :class:`~repro.obs.profile.ProfileReport` covering the experiment as
+    one phase (wall time, peak RSS, allocation delta/peak via
+    ``tracemalloc``).  With ``profile_dir`` set, the report is also
+    written as ``<id>.profile.json`` next to the experiment's other
+    output — this is what gives every experiment ID a timing/memory
+    record alongside its table.
+    """
+    fn = EXPERIMENTS.get(experiment_id)
+    if fn is None:
+        raise KeyError(f"unknown experiment id: {experiment_id}")
+    if not profile:
+        return fn(), None
+    from ..obs.profile import PhaseProfiler
+
+    prof = PhaseProfiler(trace_malloc=True, top_allocations=3)
+    with prof.phase(experiment_id):
+        result = fn()
+    report = prof.report()
+    if profile_dir is not None:
+        out_dir = pathlib.Path(profile_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{experiment_id}.profile.json"
+        path.write_text(json.dumps(report.to_dict(), indent=2))
+    return result, report

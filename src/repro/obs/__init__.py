@@ -1,0 +1,98 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem answering "what is this run doing and where does the time
+go", shared by every frontend:
+
+- :mod:`repro.obs.trace` — span/event **tracing** with a bounded ring
+  buffer and a :class:`~repro.obs.trace.TracingListener` narrating every
+  kernel event (``repro-dbp replay --trace out.jsonl``);
+- :mod:`repro.obs.metrics` — **counters, gauges, histograms, timings**;
+  the primitives behind :class:`~repro.engine.metrics.EngineMetrics`,
+  plus the frontend-independent, fully deterministic
+  :class:`~repro.obs.metrics.MetricsListener` (batch and streaming runs
+  of the same trace snapshot identically);
+- :mod:`repro.obs.profile` — per-phase wall time / peak RSS /
+  ``tracemalloc`` **profiling** (``repro-dbp run --profile``);
+- :mod:`repro.obs.export` — sinks (memory, JSON, JSONL, console) and
+  human-readable summaries (``repro-dbp obs summarize``).
+
+Quickstart::
+
+    from repro import FirstFit
+    from repro.engine import Engine
+    from repro.obs import Tracer
+
+    tracer = Tracer(capacity=1 << 16)
+    engine = Engine(FirstFit(), tracer=tracer)
+    ...
+    tracer.write_jsonl("run.jsonl")
+"""
+
+from .export import (
+    CallbackSink,
+    ConsoleSink,
+    JSONLSink,
+    JSONSink,
+    MemorySink,
+    MetricsSink,
+    render_summary,
+    summarize_trace,
+)
+from .metrics import (
+    BINS_OPEN_EDGES,
+    LATENCY_EDGES,
+    LIFETIME_EDGES,
+    OCCUPANCY_EDGES,
+    RESIDUAL_EDGES,
+    UTILIZATION_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsListener,
+    Timing,
+    merge_metrics,
+)
+from .profile import PhaseProfiler, PhaseStats, ProfileReport, profiled
+from .trace import (
+    DEFAULT_CAPACITY,
+    TraceEvent,
+    Tracer,
+    TracingListener,
+    read_trace,
+)
+
+__all__ = [
+    # trace
+    "DEFAULT_CAPACITY",
+    "Tracer",
+    "TraceEvent",
+    "TracingListener",
+    "read_trace",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timing",
+    "MetricsListener",
+    "merge_metrics",
+    "OCCUPANCY_EDGES",
+    "UTILIZATION_EDGES",
+    "LIFETIME_EDGES",
+    "LATENCY_EDGES",
+    "RESIDUAL_EDGES",
+    "BINS_OPEN_EDGES",
+    # profile
+    "PhaseProfiler",
+    "PhaseStats",
+    "ProfileReport",
+    "profiled",
+    # export
+    "MetricsSink",
+    "ConsoleSink",
+    "JSONSink",
+    "JSONLSink",
+    "CallbackSink",
+    "MemorySink",
+    "render_summary",
+    "summarize_trace",
+]

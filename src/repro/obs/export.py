@@ -1,0 +1,218 @@
+"""Exporters for the observability layer: sinks and human summaries.
+
+Sinks are deliberately decoupled from metric objects: a metrics registry
+holds only data (and therefore pickles inside checkpoints), while sinks —
+which may own file handles — are handed snapshots at emission time.
+Anything with an ``emit(snapshot: dict)`` method is a sink; the engine's
+``EngineMetrics.flush`` and the CLI both speak this protocol.
+
+Three export shapes:
+
+- **in-memory** (:class:`MemorySink`) — collect snapshots in a list, for
+  tests and embedded use;
+- **files** (:class:`JSONSink`, :class:`JSONLSink`) — the JSONL sink
+  follows the same append-one-object-per-line convention as the engine's
+  trace streams (:mod:`repro.engine.stream`);
+- **human-readable** (:func:`render_summary`, :func:`summarize_trace`) —
+  terminal summaries of a metrics snapshot or of a JSONL trace file
+  written by :meth:`repro.obs.trace.Tracer.write_jsonl` (this is what
+  ``repro-dbp obs summarize`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Callable, List, Protocol, Union
+
+__all__ = [
+    "MetricsSink",
+    "ConsoleSink",
+    "JSONSink",
+    "JSONLSink",
+    "CallbackSink",
+    "MemorySink",
+    "render_summary",
+    "summarize_trace",
+]
+
+
+class MetricsSink(Protocol):
+    """Anything that accepts metric snapshots."""
+
+    def emit(self, snapshot: dict) -> None: ...
+
+
+class ConsoleSink:
+    """Pretty-print the snapshot to a stream (stderr by default)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream
+
+    def emit(self, snapshot: dict) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        json.dump(snapshot, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+class JSONSink:
+    """Write the latest snapshot to ``path`` (overwriting)."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+
+    def emit(self, snapshot: dict) -> None:
+        self.path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+
+
+class JSONLSink:
+    """Append one snapshot per line — for periodic mid-stream flushes."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+
+    def emit(self, snapshot: dict) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+
+
+class CallbackSink:
+    """Adapt a plain callable into a sink."""
+
+    def __init__(self, fn: Callable[[dict], None]) -> None:
+        self.fn = fn
+
+    def emit(self, snapshot: dict) -> None:
+        self.fn(snapshot)
+
+
+class MemorySink:
+    """Collect every emitted snapshot in :attr:`snapshots` (newest last)."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[dict] = []
+
+    def emit(self, snapshot: dict) -> None:
+        self.snapshots.append(snapshot)
+
+    @property
+    def last(self) -> dict:
+        if not self.snapshots:
+            raise LookupError("no snapshot has been emitted yet")
+        return self.snapshots[-1]
+
+
+# ---------------------------------------------------------------------- #
+# Human-readable rendering
+# ---------------------------------------------------------------------- #
+def _table(headers, rows) -> List[str]:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[k]) for r in cells)) if cells else len(h)
+        for k, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(widths[k]) for k, h in enumerate(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(r[k].rjust(widths[k]) for k in range(len(r))))
+    return out
+
+
+def render_summary(snapshot: dict) -> str:
+    """A terminal-friendly summary of a metrics snapshot dict."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:24s} {value:>12,}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, g in gauges.items():
+            lines.append(
+                f"  {name:24s} {g.get('value', 0):>12g}   "
+                f"(min {g.get('min')}, max {g.get('max')})"
+            )
+    for section in ("histograms", "timings"):
+        entries = snapshot.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"{section}:")
+        for name, h in entries.items():
+            if "buckets" in h:
+                lines.append(
+                    f"  {name} (n={h['total']}, mean={h['mean']:g}):"
+                )
+                for label, count in h["buckets"].items():
+                    bar = "#" * min(40, count)
+                    lines.append(f"    {label:>14s} {count:>10,} {bar}")
+            else:
+                lines.append(
+                    f"  {name:24s} n={h.get('count', 0):<9,} "
+                    f"mean={h.get('mean_us', 0.0):.1f}us "
+                    f"max={h.get('max_us', 0.0):.1f}us"
+                )
+    return "\n".join(lines)
+
+
+def summarize_trace(path: Union[str, pathlib.Path]) -> str:
+    """Aggregate a JSONL trace file into a terminal summary.
+
+    Works on anything :meth:`repro.obs.trace.Tracer.write_jsonl` wrote:
+    groups records by event name, counting occurrences and (for spans)
+    total/mean/max duration, and reports the covered wall-time window.
+    """
+    path = pathlib.Path(path)
+    per_name: dict = {}
+    t_lo, t_hi, total = None, None, 0
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSONL trace line: {exc}"
+                ) from exc
+            total += 1
+            name = rec.get("name", "?")
+            t_ns = rec.get("t_ns", 0)
+            dur = rec.get("dur_ns", 0)
+            t_lo = t_ns if t_lo is None else min(t_lo, t_ns)
+            t_hi = max(t_hi if t_hi is not None else 0, t_ns + dur)
+            agg = per_name.setdefault(
+                name, {"count": 0, "dur_ns": 0, "max_ns": 0, "kind": rec.get("kind")}
+            )
+            agg["count"] += 1
+            agg["dur_ns"] += dur
+            agg["max_ns"] = max(agg["max_ns"], dur)
+    if not total:
+        return f"{path}: empty trace"
+    span_ms = (t_hi - t_lo) / 1e6
+    lines = [
+        f"{path}: {total:,} events over {span_ms:.2f} ms",
+        "",
+    ]
+    rows = []
+    for name, agg in sorted(
+        per_name.items(), key=lambda kv: -kv[1]["dur_ns"]
+    ):
+        mean_us = agg["dur_ns"] / agg["count"] / 1e3
+        rows.append(
+            [
+                name,
+                agg["kind"] or "event",
+                f"{agg['count']:,}",
+                f"{agg['dur_ns'] / 1e6:.3f}",
+                f"{mean_us:.2f}",
+                f"{agg['max_ns'] / 1e3:.2f}",
+            ]
+        )
+    lines += _table(
+        ["name", "kind", "count", "total ms", "mean us", "max us"], rows
+    )
+    return "\n".join(lines)

@@ -1,0 +1,352 @@
+"""Metric primitives for the unified observability layer.
+
+These are the one set of counter/gauge/histogram/timing types used by
+every layer of the system: the streaming engine's
+:class:`~repro.engine.metrics.EngineMetrics` delegates to them, the
+frontend-independent :class:`MetricsListener` builds on them, and
+:mod:`repro.parallel` merges them across shards.
+
+Design rules (inherited from the engine's metrics layer, now enforced
+package-wide):
+
+- **bounded memory** — histograms have fixed bucket edges, timings keep
+  aggregates only, nothing retains per-event history;
+- **data only** — metric objects hold numbers, never file handles, so
+  they pickle inside checkpoints and travel across process pools;
+- **mergeable** — every primitive implements ``merge(other)`` so
+  per-shard metrics from :func:`repro.parallel.replay_sharded` combine
+  into one registry with no information loss (exact for counters and
+  histograms, conservative min/max for timings and gauges).
+
+:class:`MetricsListener` is the deterministic half of the obs layer: it
+implements the kernel's :class:`~repro.core.kernel.KernelListener`
+protocol and records only quantities that are pure functions of the
+event sequence (no wall-clock reads).  Attaching it to the batch
+``simulate()`` and to the streaming ``Engine`` on the same trace must
+produce identical snapshots — the obs parity property test pins this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from ..core.bins import Bin
+from ..core.item import Item
+from ..core.kernel import KernelListener
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timing",
+    "MetricsListener",
+    "merge_metrics",
+    "OCCUPANCY_EDGES",
+    "UTILIZATION_EDGES",
+    "LIFETIME_EDGES",
+    "LATENCY_EDGES",
+    "RESIDUAL_EDGES",
+    "BINS_OPEN_EDGES",
+]
+
+# ---------------------------------------------------------------------- #
+# Default bucket edges (shared by engine metrics and the obs listener)
+# ---------------------------------------------------------------------- #
+#: occupancy buckets: items ever packed into a bin over its lifetime
+OCCUPANCY_EDGES = (1, 2, 3, 5, 8, 13, 21, 34)
+#: peak-load buckets as a fraction of capacity
+UTILIZATION_EDGES = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+#: bin lifetime buckets (usage time, powers of two)
+LIFETIME_EDGES = (0.5, 1, 2, 4, 8, 16, 32, 64, 128)
+#: per-placement wall-time buckets (seconds)
+LATENCY_EDGES = (1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 1e-2)
+#: residual capacity of the chosen bin after placement (fraction of capacity)
+RESIDUAL_EDGES = (0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9)
+#: open-bin count observed at each arrival
+BINS_OPEN_EDGES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> int:
+        return self.value
+
+    def __getstate__(self):
+        return self.value
+
+    def __setstate__(self, state):
+        self.value = state
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A last-written value with running min/max over all writes."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+    def merge(self, other: "Gauge") -> None:
+        """Combine with a gauge from another shard (min/max exact)."""
+        if other.updates:
+            self.value = other.value  # last writer wins across the merge order
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            self.updates += other.updates
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "min": self.min if self.updates else None,
+            "max": self.max if self.updates else None,
+            "updates": self.updates,
+        }
+
+    def __getstate__(self):
+        return (self.value, self.min, self.max, self.updates)
+
+    def __setstate__(self, state):
+        self.value, self.min, self.max, self.updates = state
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value!r}, max={self.max!r})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per ``(lo, hi]`` bucket.
+
+    ``edges`` are the inner boundaries; an observation lands in bucket
+    ``i`` when ``edges[i-1] < x <= edges[i]``, with under/overflow buckets
+    at the ends.  Memory is O(len(edges)) forever.
+    """
+
+    __slots__ = ("edges", "counts", "total", "sum")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        self.edges = tuple(sorted(edges))
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, x: float) -> None:
+        lo, hi = 0, len(self.edges)
+        while lo < hi:  # bisect_left over edges
+            mid = (lo + hi) // 2
+            if self.edges[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.total += 1
+        self.sum += x
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Bucket-wise sum; both histograms must share the same edges."""
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        buckets = {}
+        prev = None
+        for i, edge in enumerate(self.edges):
+            label = f"<= {edge:g}" if prev is None else f"({prev:g}, {edge:g}]"
+            buckets[label] = self.counts[i]
+            prev = edge
+        buckets[f"> {self.edges[-1]:g}"] = self.counts[-1]
+        return {"total": self.total, "mean": self.mean, "buckets": buckets}
+
+    def __getstate__(self):
+        return (self.edges, self.counts, self.total, self.sum)
+
+    def __setstate__(self, state):
+        self.edges, self.counts, self.total, self.sum = state
+
+
+class Timing:
+    """Aggregate of elapsed-time observations (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, dt: float) -> None:
+        self.count += 1
+        self.total += dt
+        if dt < self.min:
+            self.min = dt
+        if dt > self.max:
+            self.max = dt
+
+    def merge(self, other: "Timing") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_us": 1e6 * self.total / self.count if self.count else 0.0,
+            "min_us": 1e6 * self.min if self.count else 0.0,
+            "max_us": 1e6 * self.max,
+        }
+
+    def __getstate__(self):
+        return (self.count, self.total, self.min, self.max)
+
+    def __setstate__(self, state):
+        self.count, self.total, self.min, self.max = state
+
+
+# ---------------------------------------------------------------------- #
+# The frontend-independent kernel metrics listener
+# ---------------------------------------------------------------------- #
+class MetricsListener(KernelListener):
+    """Deterministic packing metrics recorded straight off kernel events.
+
+    Everything here is a pure function of the event sequence — counters,
+    the bins-open gauge/distribution, residual-at-placement and per-bin
+    histograms; no wall-clock quantity is ever read.  Running the same
+    trace through the batch frontend (``simulate(..., listener=ml)``)
+    and the streaming one (``Engine(..., listeners=[ml])``) therefore
+    yields byte-identical :meth:`snapshot` dicts.
+    """
+
+    timed = False
+
+    def __init__(self) -> None:
+        self.arrivals = Counter()
+        self.departures = Counter()
+        self.bins_opened = Counter()
+        self.bins_closed = Counter()
+        self.open_bins = Gauge()
+        self.residual_at_placement = Histogram(RESIDUAL_EDGES)
+        self.bins_open_dist = Histogram(BINS_OPEN_EDGES)
+        self.bin_occupancy = Histogram(OCCUPANCY_EDGES)
+        self.bin_utilization = Histogram(UTILIZATION_EDGES)
+        self.bin_lifetime = Histogram(LIFETIME_EDGES)
+        self._open = 0
+
+    # -- KernelListener callbacks --------------------------------------- #
+    def on_open(self, bin_: Bin) -> None:
+        self.bins_opened.inc()
+        self._open += 1
+        self.open_bins.set(self._open)
+
+    def on_arrival(self, item: Item, bin_: Bin, opened: bool) -> None:
+        self.arrivals.inc()
+        cap = bin_.capacity
+        self.residual_at_placement.observe(bin_.residual() / cap if cap else 0.0)
+        self.bins_open_dist.observe(self._open)
+
+    def on_departure(self, uid, removed, bin_, t, closed, elapsed) -> None:
+        self.departures.inc()
+
+    def on_close(self, bin_: Bin, t, usage, peak, n_items) -> None:
+        self.bins_closed.inc()
+        self._open -= 1
+        self.open_bins.set(self._open)
+        cap = bin_.capacity
+        self.bin_occupancy.observe(n_items)
+        self.bin_utilization.observe(peak / cap if cap else 0.0)
+        self.bin_lifetime.observe(usage)
+
+    # -- export / merge ------------------------------------------------- #
+    def merge(self, other: "MetricsListener") -> None:
+        """Fold another listener's totals into this one (shard merge)."""
+        self.arrivals.merge(other.arrivals)
+        self.departures.merge(other.departures)
+        self.bins_opened.merge(other.bins_opened)
+        self.bins_closed.merge(other.bins_closed)
+        self.open_bins.merge(other.open_bins)
+        self.residual_at_placement.merge(other.residual_at_placement)
+        self.bins_open_dist.merge(other.bins_open_dist)
+        self.bin_occupancy.merge(other.bin_occupancy)
+        self.bin_utilization.merge(other.bin_utilization)
+        self.bin_lifetime.merge(other.bin_lifetime)
+        self._open += other._open
+
+    def snapshot(self, extra: Optional[dict] = None) -> dict:
+        snap = {
+            "counters": {
+                "arrivals": self.arrivals.value,
+                "departures": self.departures.value,
+                "bins_opened": self.bins_opened.value,
+                "bins_closed": self.bins_closed.value,
+            },
+            "gauges": {"open_bins": self.open_bins.to_dict()},
+            "histograms": {
+                "residual_at_placement": self.residual_at_placement.to_dict(),
+                "bins_open": self.bins_open_dist.to_dict(),
+                "bin_occupancy": self.bin_occupancy.to_dict(),
+                "bin_utilization": self.bin_utilization.to_dict(),
+                "bin_lifetime": self.bin_lifetime.to_dict(),
+            },
+        }
+        if extra:
+            snap.update(extra)
+        return snap
+
+
+def merge_metrics(metrics: Iterable, into=None):
+    """Merge an iterable of same-shaped metric objects into one.
+
+    Works for anything exposing ``merge(other)`` — primitives,
+    :class:`MetricsListener`, or
+    :class:`~repro.engine.metrics.EngineMetrics`.  Returns ``into`` (a
+    fresh first element's type when omitted) or ``None`` for an empty
+    iterable.
+    """
+    result = into
+    for m in metrics:
+        if result is None:
+            result = type(m)()
+        result.merge(m)
+    return result

@@ -1,0 +1,205 @@
+"""Profiling hooks: per-phase wall time, peak RSS, allocation snapshots.
+
+A :class:`PhaseProfiler` wraps named phases of a run (building a
+workload, feeding the engine, draining departures, rendering a table)
+and records, per phase:
+
+- **wall time** via ``perf_counter``;
+- **peak RSS** via ``resource.getrusage`` (kilobytes on Linux; the OS
+  high-water mark is monotone, so a phase's value means "peak so far",
+  which is exactly what a leak hunt needs);
+- optionally **allocation deltas and peaks** via :mod:`tracemalloc`,
+  including the top allocating source lines — opt-in because tracing
+  allocations costs real time (2-4x on hot loops).
+
+The experiment harness wires this in (``repro-dbp run --profile``), as
+does ``repro-dbp replay --profile``; a report renders as a terminal
+table or a JSON dict written next to the experiment's output.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+try:  # POSIX only; gated so the module imports anywhere
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["PhaseStats", "ProfileReport", "PhaseProfiler", "profiled"]
+
+
+def _peak_rss_kb() -> Optional[float]:
+    """The process's high-water RSS in KiB, or ``None`` when unavailable."""
+    if resource is None:
+        return None
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStats:
+    """Measurements for one completed phase."""
+
+    name: str
+    wall_s: float
+    peak_rss_kb: Optional[float]  #: process high-water mark at phase end
+    alloc_delta_kb: Optional[float]  #: net Python allocations over the phase
+    alloc_peak_kb: Optional[float]  #: tracemalloc peak during the phase
+    top_allocations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "alloc_delta_kb": self.alloc_delta_kb,
+            "alloc_peak_kb": self.alloc_peak_kb,
+            "top_allocations": list(self.top_allocations),
+        }
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """All phases of one profiled run, in execution order."""
+
+    phases: Tuple[PhaseStats, ...]
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(p.wall_s for p in self.phases)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_wall_s": self.total_wall_s,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    def render(self) -> str:
+        """A terminal table: where the time (and memory) went."""
+        headers = ["phase", "wall s", "%", "rss KiB", "alloc KiB", "peak KiB"]
+        total = self.total_wall_s or 1.0
+        rows = []
+        for p in self.phases:
+            rows.append(
+                [
+                    p.name,
+                    f"{p.wall_s:.4f}",
+                    f"{100.0 * p.wall_s / total:.1f}",
+                    "-" if p.peak_rss_kb is None else f"{p.peak_rss_kb:,.0f}",
+                    "-"
+                    if p.alloc_delta_kb is None
+                    else f"{p.alloc_delta_kb:+,.1f}",
+                    "-"
+                    if p.alloc_peak_kb is None
+                    else f"{p.alloc_peak_kb:,.1f}",
+                ]
+            )
+        widths = [
+            max(len(h), *(len(r[k]) for r in rows)) if rows else len(h)
+            for k, h in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append(
+                "  ".join(r[k].rjust(widths[k]) for k in range(len(r)))
+            )
+        lines.append(f"total: {self.total_wall_s:.4f} s over "
+                     f"{len(self.phases)} phase(s)")
+        for p in self.phases:
+            for entry in p.top_allocations:
+                lines.append(f"  [{p.name}] {entry}")
+        return "\n".join(lines)
+
+
+class PhaseProfiler:
+    """Collects :class:`PhaseStats` for successive named phases.
+
+    Parameters
+    ----------
+    trace_malloc:
+        Record Python allocation deltas/peaks per phase via
+        :mod:`tracemalloc`.  If tracing is already active (an outer
+        profiler or test harness started it), it is left running;
+        otherwise it is started and stopped around each phase.
+    top_allocations:
+        When allocation tracing is on, also keep the N top allocating
+        source lines per phase (0 disables the snapshot walk).
+    """
+
+    def __init__(
+        self, *, trace_malloc: bool = False, top_allocations: int = 0
+    ) -> None:
+        self.trace_malloc = trace_malloc
+        self.top_allocations = top_allocations
+        self._phases: List[PhaseStats] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Measure one named phase (not reentrant for the same profiler)."""
+        alloc_before = alloc_delta = alloc_peak = None
+        started_here = False
+        if self.trace_malloc:
+            if tracemalloc.is_tracing():
+                tracemalloc.reset_peak()
+            else:
+                tracemalloc.start()
+                started_here = True
+            alloc_before = tracemalloc.get_traced_memory()[0]
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - t0
+            top: Tuple[str, ...] = ()
+            if self.trace_malloc and tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                alloc_delta = (current - (alloc_before or 0)) / 1024.0
+                alloc_peak = peak / 1024.0
+                if self.top_allocations:
+                    stats = tracemalloc.take_snapshot().statistics("lineno")
+                    top = tuple(
+                        f"{s.traceback[0].filename}:{s.traceback[0].lineno} "
+                        f"{s.size / 1024.0:,.1f} KiB ({s.count} blocks)"
+                        for s in stats[: self.top_allocations]
+                    )
+                if started_here:
+                    tracemalloc.stop()
+            self._phases.append(
+                PhaseStats(
+                    name=name,
+                    wall_s=wall,
+                    peak_rss_kb=_peak_rss_kb(),
+                    alloc_delta_kb=alloc_delta,
+                    alloc_peak_kb=alloc_peak,
+                    top_allocations=top,
+                )
+            )
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(phases=tuple(self._phases))
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseProfiler({len(self._phases)} phases, "
+            f"trace_malloc={self.trace_malloc})"
+        )
+
+
+def profiled(fn, *args, name: Optional[str] = None, **kwargs):
+    """Run ``fn(*args, **kwargs)`` as a single profiled phase.
+
+    Returns ``(result, report)`` — the convenience wrapper the
+    experiment harness uses for registry callables.
+    """
+    prof = PhaseProfiler(trace_malloc=True)
+    with prof.phase(name or getattr(fn, "__name__", "call")):
+        result = fn(*args, **kwargs)
+    return result, prof.report()
+

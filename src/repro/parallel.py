@@ -150,19 +150,28 @@ def replay_task(cell: tuple) -> dict:
     :class:`~repro.engine.loop.Engine` in constant memory; the returned
     dict is :meth:`~repro.engine.loop.EngineSummary.to_dict`.  An
     optional third cell element (bool) disables the kernel's open-bin
-    index (``indexed=False``, the linear-scan fallback).
+    index (``indexed=False``, the linear-scan fallback); an optional
+    fourth element (bool) attaches an
+    :class:`~repro.engine.metrics.EngineMetrics` and returns it (they
+    pickle, so they travel back across the process pool) under the
+    ``"metrics"`` key for :func:`replay_sharded` to merge.
     """
     name, path = cell[0], cell[1]
     indexed = cell[2] if len(cell) > 2 else True
+    with_metrics = cell[3] if len(cell) > 3 else False
     registry = _registry()
     if name not in registry:
         raise KeyError(
             f"unknown algorithm {name!r}; choose from {ALGORITHM_REGISTRY}"
         )
-    from .engine import Engine, open_trace
+    from .engine import Engine, EngineMetrics, open_trace
 
-    engine = Engine(registry[name](), indexed=indexed)
-    return engine.run(open_trace(path)).to_dict()
+    metrics = EngineMetrics() if with_metrics else None
+    engine = Engine(registry[name](), indexed=indexed, metrics=metrics)
+    out = engine.run(open_trace(path)).to_dict()
+    if with_metrics:
+        out["metrics"] = metrics
+    return out
 
 
 def replay_sharded(
@@ -171,6 +180,7 @@ def replay_sharded(
     *,
     workers: int = 1,
     indexed: bool = True,
+    metrics: bool = False,
 ) -> dict:
     """Replay many trace shards, one independent engine per shard.
 
@@ -180,11 +190,24 @@ def replay_sharded(
     :func:`repro.engine.stream.merge` instead when shards must share
     bins.
 
+    With ``metrics=True`` every shard records an
+    :class:`~repro.engine.metrics.EngineMetrics`; the per-shard
+    registries are merged (exactly for counters/histograms, global
+    min/max for timings) into one fleet-wide snapshot returned under
+    the ``"metrics"`` key.
+
     Returns the aggregated totals plus the per-shard summaries.
     """
-    cells = [(algorithm, str(p), indexed) for p in paths]
+    cells = [(algorithm, str(p), indexed, metrics) for p in paths]
     shards = parallel_map(replay_task, cells, workers=workers)
-    return {
+    merged = None
+    if metrics:
+        from .engine import EngineMetrics, merge_metrics
+
+        merged = merge_metrics(
+            (s.pop("metrics") for s in shards), into=EngineMetrics()
+        )
+    out = {
         "algorithm": algorithm,
         "shards": shards,
         "n_shards": len(shards),
@@ -193,3 +216,6 @@ def replay_sharded(
         "bins_opened": sum(s["bins_opened"] for s in shards),
         "max_open": sum(s["max_open"] for s in shards),
     }
+    if merged is not None:
+        out["metrics"] = merged.snapshot()
+    return out

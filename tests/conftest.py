@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro import (
     CDFF,
@@ -17,6 +20,13 @@ from repro import (
     StaticRowsCDFF,
     WorstFit,
 )
+
+# Hypothesis profiles: "ci" derandomizes so CI failures reproduce exactly
+# (select with HYPOTHESIS_PROFILE=ci; the GitHub workflow sets it).
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          print_blob=True)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

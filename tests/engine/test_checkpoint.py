@@ -4,7 +4,7 @@ uninterrupted one — same final cost, bins, and assignment."""
 import pytest
 
 from repro.algorithms import CDFF, FirstFit, HybridAlgorithm, NextFit
-from repro.core.errors import SimulationError
+from repro.core.errors import CheckpointError, SimulationError
 from repro.core.simulation import simulate
 from repro.engine import (
     Checkpoint,
@@ -152,3 +152,91 @@ def test_observers_not_checkpointed():
         eng.feed(it)
     resumed = restore(snapshot(eng))
     assert resumed._observers == []
+
+
+class TestCorruptedCheckpoints:
+    """Damaged checkpoint files must fail with a diagnosable
+    CheckpointError, never a bare UnpicklingError/EOFError."""
+
+    def _checkpoint_bytes(self) -> bytes:
+        eng = Engine(FirstFit())
+        for it in list(uniform_random(30, 8, seed=13))[:15]:
+            eng.feed(it)
+        return snapshot(eng).dumps()
+
+    def test_truncated_file(self, tmp_path):
+        data = self._checkpoint_bytes()
+        path = tmp_path / "cut.ckpt"
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupted"):
+            load_checkpoint(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"this is not a pickle at all")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_corrupted_blob_inside_valid_envelope(self):
+        eng = Engine(FirstFit())
+        for it in list(uniform_random(30, 8, seed=14))[:15]:
+            eng.feed(it)
+        ckpt = snapshot(eng)
+        broken = Checkpoint(
+            version=ckpt.version,
+            arrivals=ckpt.arrivals,
+            time=ckpt.time,
+            cost_so_far=ckpt.cost_so_far,
+            blob=ckpt.blob[:10],
+        )
+        with pytest.raises(CheckpointError, match="blob is unreadable"):
+            restore(broken)
+
+    def test_blob_with_wrong_payload(self):
+        import pickle
+
+        broken = Checkpoint(
+            version=CHECKPOINT_VERSION, arrivals=0, time=0.0,
+            cost_so_far=0.0, blob=pickle.dumps([1, 2, 3]),
+        )
+        with pytest.raises(CheckpointError, match="engine state"):
+            restore(broken)
+
+    def test_checkpoint_error_is_a_simulation_error(self):
+        # callers with existing `except SimulationError` handlers keep
+        # catching checkpoint failures after the errors refactor
+        assert issubclass(CheckpointError, SimulationError)
+
+
+class TestResumePreservesObsCounters:
+    def test_deterministic_metrics_survive_resume(self):
+        items = list(uniform_random(100, 16, seed=15))
+
+        straight = EngineMetrics()
+        eng = Engine(HybridAlgorithm(), metrics=straight)
+        for it in items:
+            eng.feed(it)
+        eng.finish()
+
+        interrupted = EngineMetrics()
+        eng2 = Engine(HybridAlgorithm(), metrics=interrupted)
+        for it in items[:50]:
+            eng2.feed(it)
+        resumed = restore(snapshot(eng2))
+        for it in items[50:]:
+            resumed.feed(it)
+        resumed.finish()
+
+        a = straight.snapshot()
+        b = resumed.metrics.snapshot()
+        # wall-clock sections differ run to run; the deterministic
+        # counters/histograms must be exactly preserved across the
+        # snapshot/restore boundary
+        assert a["counters"] == b["counters"]
+        assert a["histograms"] == b["histograms"]

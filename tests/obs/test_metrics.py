@@ -1,0 +1,161 @@
+"""Metric primitives: bucket edges, gauges, merging, and the
+deterministic MetricsListener."""
+
+import pickle
+
+import pytest
+
+from repro import FirstFit, HybridAlgorithm, simulate, uniform_random
+from repro.obs import (
+    BINS_OPEN_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsListener,
+    Timing,
+    merge_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7 and a.to_dict() == 7
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge()
+        for v in (3.0, 1.0, 5.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.min == 1.0 and g.max == 5.0
+        assert g.updates == 4
+
+    def test_unset_gauge_exports_none_bounds(self):
+        assert Gauge().to_dict() == {
+            "value": 0.0, "min": None, "max": None, "updates": 0,
+        }
+
+    def test_merge_is_minmax_exact(self):
+        a, b = Gauge(), Gauge()
+        a.set(2.0)
+        b.set(7.0)
+        b.set(1.0)
+        a.merge(b)
+        assert a.value == 1.0  # last writer (merge order) wins
+        assert a.min == 1.0 and a.max == 7.0 and a.updates == 3
+
+    def test_merging_empty_gauge_is_identity(self):
+        a = Gauge()
+        a.set(4.0)
+        a.merge(Gauge())
+        assert a.to_dict()["value"] == 4.0 and a.updates == 1
+
+
+class TestHistogram:
+    def test_bucket_edges_are_half_open(self):
+        """(lo, hi] semantics: a value exactly on an edge lands below it."""
+        h = Histogram((1, 2, 4))
+        for x in (0.5, 1, 1.0001, 2, 3, 4, 4.0001, 100):
+            h.observe(x)
+        # counts: <=1, (1,2], (2,4], >4
+        assert h.counts == [2, 2, 2, 2]
+        assert h.total == 8
+
+    def test_mean(self):
+        h = Histogram((10,))
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+        assert Histogram((1,)).mean == 0.0
+
+    def test_edges_sorted_and_validated(self):
+        assert Histogram((4, 1, 2)).edges == (1, 2, 4)
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_merge_requires_same_edges(self):
+        a, b = Histogram((1, 2)), Histogram((1, 3))
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge(b)
+
+    def test_merge_is_bucketwise_sum(self):
+        a, b = Histogram((1, 2)), Histogram((1, 2))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1] and a.total == 3
+
+    def test_to_dict_labels(self):
+        h = Histogram((1, 2))
+        d = h.to_dict()
+        assert list(d["buckets"]) == ["<= 1", "(1, 2]", "> 2"]
+
+
+class TestTiming:
+    def test_observe_and_merge(self):
+        a, b = Timing(), Timing()
+        a.observe(0.002)
+        b.observe(0.001)
+        b.observe(0.005)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.001 and a.max == 0.005
+        assert a.to_dict()["mean_us"] == pytest.approx(8000 / 3)
+
+
+class TestMetricsListener:
+    def test_counts_and_conservation(self):
+        inst = uniform_random(150, 16, seed=1)
+        ml = MetricsListener()
+        simulate(FirstFit(), inst, listener=ml)
+        snap = ml.snapshot()
+        c = snap["counters"]
+        assert c["arrivals"] == c["departures"] == 150
+        assert c["bins_opened"] == c["bins_closed"]
+        assert snap["gauges"]["open_bins"]["value"] == 0  # all drained
+        assert snap["histograms"]["residual_at_placement"]["total"] == 150
+        assert snap["histograms"]["bin_occupancy"]["total"] == c["bins_closed"]
+
+    def test_bins_open_histogram_edges(self):
+        assert MetricsListener().bins_open_dist.edges == BINS_OPEN_EDGES
+
+    def test_merge_two_shards(self):
+        a, b = MetricsListener(), MetricsListener()
+        simulate(FirstFit(), uniform_random(60, 8, seed=2), listener=a)
+        simulate(FirstFit(), uniform_random(40, 8, seed=3), listener=b)
+        total_bins = a.bins_opened.value + b.bins_opened.value
+        a.merge(b)
+        assert a.arrivals.value == 100
+        assert a.bins_opened.value == total_bins
+        assert a.bin_lifetime.total == total_bins
+
+    def test_merge_metrics_helper(self):
+        parts = []
+        for seed in (4, 5, 6):
+            ml = MetricsListener()
+            simulate(HybridAlgorithm(), uniform_random(30, 8, seed=seed),
+                     listener=ml)
+            parts.append(ml)
+        merged = merge_metrics(parts)
+        assert isinstance(merged, MetricsListener)
+        assert merged.arrivals.value == 90
+        assert merge_metrics([]) is None
+        into = MetricsListener()
+        assert merge_metrics(parts, into=into) is into
+
+    def test_pickles(self):
+        ml = MetricsListener()
+        simulate(FirstFit(), uniform_random(40, 8, seed=7), listener=ml)
+        clone = pickle.loads(pickle.dumps(ml))
+        assert clone.snapshot() == ml.snapshot()
+
+    def test_snapshot_extra(self):
+        snap = MetricsListener().snapshot(extra={"cost": 1.5})
+        assert snap["cost"] == 1.5

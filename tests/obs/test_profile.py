@@ -1,0 +1,95 @@
+"""PhaseProfiler: wall time, RSS, tracemalloc deltas, report rendering."""
+
+import json
+import time
+import tracemalloc
+
+from repro.obs import PhaseProfiler, ProfileReport, profiled
+
+
+class TestPhaseProfiler:
+    def test_phases_in_execution_order(self):
+        prof = PhaseProfiler()
+        with prof.phase("one"):
+            pass
+        with prof.phase("two"):
+            pass
+        report = prof.report()
+        assert [p.name for p in report.phases] == ["one", "two"]
+
+    def test_wall_time_measured(self):
+        prof = PhaseProfiler()
+        with prof.phase("sleep"):
+            time.sleep(0.01)
+        (p,) = prof.report().phases
+        assert p.wall_s >= 0.009
+        assert prof.report().total_wall_s == p.wall_s
+
+    def test_peak_rss_reported_on_posix(self):
+        prof = PhaseProfiler()
+        with prof.phase("noop"):
+            pass
+        (p,) = prof.report().phases
+        assert p.peak_rss_kb is None or p.peak_rss_kb > 0
+
+    def test_no_tracemalloc_by_default(self):
+        prof = PhaseProfiler()
+        with prof.phase("noop"):
+            pass
+        (p,) = prof.report().phases
+        assert p.alloc_delta_kb is None and p.alloc_peak_kb is None
+        assert not tracemalloc.is_tracing()
+
+    def test_tracemalloc_delta_and_peak(self):
+        prof = PhaseProfiler(trace_malloc=True, top_allocations=2)
+        with prof.phase("alloc"):
+            blob = [bytes(1024) for _ in range(512)]  # ~512 KiB held
+        (p,) = prof.report().phases
+        assert p.alloc_peak_kb is not None and p.alloc_peak_kb > 256
+        assert p.alloc_delta_kb is not None
+        assert len(p.top_allocations) <= 2
+        assert not tracemalloc.is_tracing()  # stopped what it started
+        del blob
+
+    def test_leaves_external_tracemalloc_running(self):
+        tracemalloc.start()
+        try:
+            prof = PhaseProfiler(trace_malloc=True)
+            with prof.phase("inner"):
+                pass
+            assert tracemalloc.is_tracing()  # not ours to stop
+        finally:
+            tracemalloc.stop()
+
+    def test_phase_recorded_on_exception(self):
+        prof = PhaseProfiler()
+        try:
+            with prof.phase("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [p.name for p in prof.report().phases] == ["doomed"]
+
+
+class TestReport:
+    def test_render_and_to_dict(self):
+        prof = PhaseProfiler(trace_malloc=True)
+        with prof.phase("work"):
+            sum(range(1000))
+        report = prof.report()
+        text = report.render()
+        assert "work" in text and "total:" in text
+        d = report.to_dict()
+        json.dumps(d)  # JSON-serialisable
+        assert d["phases"][0]["name"] == "work"
+        assert d["total_wall_s"] == report.total_wall_s
+
+    def test_empty_report_renders(self):
+        text = ProfileReport(phases=()).render()
+        assert "0 phase(s)" in text
+
+
+def test_profiled_wrapper():
+    result, report = profiled(sorted, [3, 1, 2])
+    assert result == [1, 2, 3]
+    assert report.phases[0].name == "sorted"

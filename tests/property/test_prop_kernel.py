@@ -24,6 +24,9 @@ from repro.algorithms.base import OnlineAlgorithm
 from repro.core.instance import Instance
 from repro.core.simulation import simulate
 from repro.engine import Engine
+from repro.obs import MetricsListener
+
+from ..conftest import aligned_algorithm_factories, all_algorithm_factories
 
 # Coarse grids force plenty of equal-time events and exact-fill loads.
 grid_times = st.integers(min_value=0, max_value=8).map(lambda k: k * 0.5)
@@ -150,3 +153,44 @@ class TestKernelSemantics:
             assert fast.cost == slow.cost
             assert fast.assignment == slow.assignment
             assert fast.bins == slow.bins
+
+
+class TestObsParity:
+    """The deterministic obs metrics are frontend-independent: the same
+    trace through batch ``simulate()`` and the streaming ``Engine`` must
+    produce byte-identical MetricsListener snapshots."""
+
+    @given(traces())
+    @settings(max_examples=25, deadline=None)
+    def test_batch_and_engine_snapshots_identical(self, inst):
+        # the traces() grid emits lengths in [0.5, 4.0]; re-bound the
+        # RenTang factory so its declared [min, μ·min] range covers them
+        from repro import RenTang
+
+        factories = [
+            (n, f) for n, f in all_algorithm_factories() if n != "RenTang64"
+        ] + [("RenTang8", lambda: RenTang(8.0, min_length=0.5))]
+        for name, factory in factories:
+            ml_batch = MetricsListener()
+            simulate(factory(), inst, listener=ml_batch)
+            ml_engine = MetricsListener()
+            eng = Engine(factory(), listeners=(ml_engine,))
+            for it in inst:
+                eng.feed(it)
+            eng.finish()
+            assert ml_engine.snapshot() == ml_batch.snapshot(), name
+
+    def test_aligned_algorithms_on_binary_input(self):
+        """CDFF and friends need aligned inputs; check them on σ_k."""
+        from repro.workloads import binary_input
+
+        inst = binary_input(64)
+        for name, factory in aligned_algorithm_factories():
+            ml_batch = MetricsListener()
+            simulate(factory(), inst, listener=ml_batch)
+            ml_engine = MetricsListener()
+            eng = Engine(factory(), listeners=(ml_engine,))
+            for it in inst:
+                eng.feed(it)
+            eng.finish()
+            assert ml_engine.snapshot() == ml_batch.snapshot(), name

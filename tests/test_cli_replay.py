@@ -105,3 +105,91 @@ class TestReplay:
             main(["replay", jsonl_path, "--resume", str(ckpt), "--verify"])
             == 1
         )
+
+    def test_no_index_bit_identical_costs_and_counters(
+        self, jsonl_path, tmp_path, capsys
+    ):
+        """The open-bin index is a pure accelerator: costs AND the
+        deterministic obs sections must match the linear-scan fallback
+        exactly (not just approximately)."""
+        m_fast = tmp_path / "fast.json"
+        m_slow = tmp_path / "slow.json"
+        assert main(["replay", jsonl_path, "--metrics", str(m_fast)]) == 0
+        fast_out = capsys.readouterr().out
+        assert (
+            main(["replay", jsonl_path, "--no-index",
+                  "--metrics", str(m_slow)])
+            == 0
+        )
+        slow_out = capsys.readouterr().out
+        cost_line = [l for l in fast_out.splitlines() if "cost=" in l][0]
+        assert cost_line in slow_out  # bit-identical summary line
+        fast = json.loads(m_fast.read_text())
+        slow = json.loads(m_slow.read_text())
+        # counters+histograms are deterministic by contract; timings are
+        # wall-clock and legitimately differ between the two runs
+        assert fast["counters"] == slow["counters"]
+        assert fast["histograms"] == slow["histograms"]
+        assert fast["cost"] == slow["cost"]
+
+
+class TestReplayObservability:
+    def test_trace_written_and_well_formed(self, jsonl_path, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main(["replay", jsonl_path, "--trace", str(out)]) == 0
+        assert f"-> {out}" in capsys.readouterr().out
+        names = set()
+        with out.open() as fh:
+            for line in fh:
+                rec = json.loads(line)  # every line is valid JSON
+                assert {"name", "kind", "t_ns", "dur_ns", "depth"} <= set(rec)
+                names.add(rec["name"])
+        assert "kernel.place" in names and "kernel.close" in names
+
+    def test_trace_capacity_caps_the_file(self, jsonl_path, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert (
+            main(["replay", jsonl_path, "--trace", str(out),
+                  "--trace-capacity", "64"])
+            == 0
+        )
+        assert "dropped" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 64
+
+    def test_profile_report_printed(self, jsonl_path, capsys):
+        assert main(["replay", jsonl_path, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out and "drain" in out and "total:" in out
+
+    def test_trace_survives_resume(self, jsonl_path, tmp_path, capsys):
+        ckpt = tmp_path / "engine.ckpt"
+        main(["replay", jsonl_path, "--checkpoint-every", "100",
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        out = tmp_path / "resumed.jsonl"
+        assert (
+            main(["replay", jsonl_path, "--resume", str(ckpt),
+                  "--trace", str(out)])
+            == 0
+        )
+        assert out.exists() and out.read_text().strip()
+
+
+class TestObsSummarize:
+    def test_summarize_round_trip(self, jsonl_path, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        main(["replay", jsonl_path, "--trace", str(out)])
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "kernel.place" in text and "events over" in text
+
+    def test_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "obs summarize:" in capsys.readouterr().err
+
+    def test_summarize_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["obs", "summarize", str(bad)]) == 1
+        assert "not a JSONL trace line" in capsys.readouterr().err
