@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures table1 curves docs clean all
+.PHONY: install test bench report figures table1 curves docs regress sweep clean all
 
 install:
 	pip install -e .
@@ -27,6 +27,19 @@ curves:
 
 docs:
 	$(PYTHON) scripts/gen_api_docs.py
+
+# Re-run the baseline workloads and gate the fresh ledger records
+# against the frozen .ledger/baseline.json (exit 1 on cost drift or
+# new invariant violations).
+regress:
+	$(PYTHON) -m repro replay examples/traces/uniform_1k.jsonl -a FirstFit --invariants
+	$(PYTHON) -m repro replay examples/traces/uniform_1k.jsonl -a HybridAlgorithm --invariants
+	$(PYTHON) -m repro obs regress
+
+# Every algorithm x workload family with the theory-invariant monitors
+# attached; fails on any violation.
+sweep:
+	$(PYTHON) scripts/invariant_sweep.py
 
 all: install test bench report
 

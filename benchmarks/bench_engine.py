@@ -110,7 +110,23 @@ def run_suite(sizes=SIZES) -> str:
             assert cell["engine"]["cost"] == cell["batch"]["cost"]
             rows.append(cell)
             trace.unlink()
-    return render(rows)
+    return render(rows), bench_metrics(rows)
+
+
+def bench_metrics(rows) -> dict:
+    """Deterministic outcomes (+ timings, ungated) for BENCH_ENGINE.json."""
+    metrics: dict = {"costs": {}, "timings": {}}
+    for cell in rows:
+        n = cell["n"]
+        metrics["costs"][str(n)] = cell["engine"]["cost"]
+        metrics["timings"][str(n)] = {
+            mode: {
+                "seconds": cell[mode]["seconds"],
+                "peak_rss_mb": cell[mode]["peak_rss_mb"],
+            }
+            for mode in ("batch", "engine")
+        }
+    return metrics
 
 
 def render(rows) -> str:
@@ -148,17 +164,25 @@ def render(rows) -> str:
 
 
 def test_bench_engine(benchmark, output_dir):
-    text = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    from conftest import bench_json
+
+    text, metrics = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     (output_dir / "ENGINE.txt").write_text(text)
+    bench_json(output_dir, "ENGINE", metrics, algorithm="FirstFit",
+               generator="poisson-jsonl", config={"sizes": list(SIZES)})
 
 
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "--child":
         _child(sys.argv[2], sys.argv[3])
     else:
+        from conftest import bench_json
+
         sizes = tuple(int(a) for a in sys.argv[1:]) or SIZES
-        output = run_suite(sizes)
+        output, metrics = run_suite(sizes)
         out_dir = pathlib.Path(__file__).parent / "output"
         out_dir.mkdir(exist_ok=True)
         (out_dir / "ENGINE.txt").write_text(output)
+        bench_json(out_dir, "ENGINE", metrics, algorithm="FirstFit",
+                   generator="poisson-jsonl", config={"sizes": list(sizes)})
         print(output)

@@ -108,7 +108,21 @@ def run_suite(sizes=SIZES) -> str:
                 )
             rows.append(cell)
             trace.unlink()
-    return render(rows)
+    return render(rows), bench_metrics(rows)
+
+
+def bench_metrics(rows) -> dict:
+    """Deterministic outcomes (+ timings, ungated) for BENCH_KERNEL.json."""
+    metrics: dict = {"costs": {}, "timings": {}}
+    for cell in rows:
+        n = cell["n"]
+        metrics["costs"][str(n)] = cell["simulate_indexed"]["cost"]
+        metrics["timings"][str(n)] = {
+            key: cell[key]["seconds"]
+            for key in ("simulate_linear", "simulate_indexed",
+                        "replay_linear", "replay_indexed")
+        }
+    return metrics
 
 
 def render(rows) -> str:
@@ -151,17 +165,25 @@ def render(rows) -> str:
 
 
 def test_bench_kernel(benchmark, output_dir):
-    text = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    from conftest import bench_json
+
+    text, metrics = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     (output_dir / "KERNEL.txt").write_text(text)
+    bench_json(output_dir, "KERNEL", metrics, algorithm="BestFit",
+               generator="poisson-jsonl", config={"sizes": list(SIZES)})
 
 
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "--child":
         _child(sys.argv[2], sys.argv[3], sys.argv[4])
     else:
+        from conftest import bench_json
+
         sizes = tuple(int(a) for a in sys.argv[1:]) or SIZES
-        output = run_suite(sizes)
+        output, metrics = run_suite(sizes)
         out_dir = pathlib.Path(__file__).parent / "output"
         out_dir.mkdir(exist_ok=True)
         (out_dir / "KERNEL.txt").write_text(output)
+        bench_json(out_dir, "KERNEL", metrics, algorithm="BestFit",
+                   generator="poisson-jsonl", config={"sizes": list(sizes)})
         print(output)

@@ -15,7 +15,9 @@ Variants per frontend:
 - ``off``     — ``Tracer(enabled=False)`` handed to the frontend: the
   construct-time switch must make this indistinguishable from plain;
 - ``trace``   — enabled tracer, default ring capacity;
-- ``metrics`` — the deterministic :class:`repro.obs.MetricsListener`.
+- ``metrics`` — the deterministic :class:`repro.obs.MetricsListener`;
+- ``inv``     — the :class:`repro.obs.invariants.InvariantMonitor`
+  re-deriving the theory bounds online.
 
 Each (frontend, variant) cell runs best-of-3 in fresh subprocesses so
 timings are not contaminated by earlier cells' heap state.
@@ -39,7 +41,7 @@ MU = 16.0
 ROUNDS = 3  # best-of, per cell
 MAX_OFF_OVERHEAD = 1.05  # the <5% acceptance bar
 
-VARIANTS = ("plain", "off", "trace", "metrics")
+VARIANTS = ("plain", "off", "trace", "metrics", "inv")
 
 
 def generate_trace(path: pathlib.Path, n_items: int, seed: int = 0) -> None:
@@ -76,6 +78,10 @@ def _child(frontend: str, variant: str, trace: str) -> None:
         tracer = Tracer()
     elif variant == "metrics":
         listener = MetricsListener()
+    elif variant == "inv":
+        from repro.obs.invariants import InvariantMonitor
+
+        listener = InvariantMonitor(algorithm="BestFit")
 
     start = time.perf_counter()
     if frontend == "simulate":
@@ -103,7 +109,13 @@ def _child(frontend: str, variant: str, trace: str) -> None:
     else:  # pragma: no cover - driver bug
         raise SystemExit(f"unknown frontend {frontend!r}")
     elapsed = time.perf_counter() - start
-    print(json.dumps({"items": items, "cost": cost, "seconds": elapsed}))
+    violations = None
+    if variant == "inv":
+        listener.finalize()
+        violations = len(listener.violations)
+        assert listener.ok, listener.violations
+    print(json.dumps({"items": items, "cost": cost, "seconds": elapsed,
+                      "violations": violations}))
 
 
 def _run_cell(frontend: str, variant: str, trace: pathlib.Path) -> dict:
@@ -141,7 +153,26 @@ def run_suite(n_items: int = N_ITEMS) -> str:
                 assert cells[(frontend, variant)]["cost"] == base_cost, (
                     frontend, variant,
                 )
-    return render(cells, n_items)
+    return render(cells, n_items), bench_metrics(cells)
+
+
+def bench_metrics(cells: dict) -> dict:
+    """Deterministic outcomes (+ timings, ungated) for BENCH_OBS.json."""
+    metrics: dict = {"costs": {}, "violations": {}, "timings": {}}
+    for frontend in ("simulate", "replay"):
+        metrics["costs"][frontend] = cells[(frontend, "plain")]["cost"]
+        metrics["violations"][frontend] = cells[(frontend, "inv")][
+            "violations"
+        ]
+        base = cells[(frontend, "plain")]["seconds"]
+        metrics["timings"][frontend] = {
+            variant: {
+                "seconds": cells[(frontend, variant)]["seconds"],
+                "vs_plain": cells[(frontend, variant)]["seconds"] / base,
+            }
+            for variant in VARIANTS
+        }
+    return metrics
 
 
 def render(cells: dict, n_items: int) -> str:
@@ -186,17 +217,25 @@ def render(cells: dict, n_items: int) -> str:
 
 
 def test_bench_obs(benchmark, output_dir):
-    text = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    from conftest import bench_json
+
+    text, metrics = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     (output_dir / "OBS.txt").write_text(text)
+    bench_json(output_dir, "OBS", metrics, algorithm="BestFit",
+               generator="poisson-jsonl", config={"n_items": N_ITEMS})
 
 
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "--child":
         _child(sys.argv[2], sys.argv[3], sys.argv[4])
     else:
+        from conftest import bench_json
+
         n = int(sys.argv[1]) if len(sys.argv) > 1 else N_ITEMS
-        output = run_suite(n)
+        output, metrics = run_suite(n)
         out_dir = pathlib.Path(__file__).parent / "output"
         out_dir.mkdir(exist_ok=True)
         (out_dir / "OBS.txt").write_text(output)
+        bench_json(out_dir, "OBS", metrics, algorithm="BestFit",
+                   generator="poisson-jsonl", config={"n_items": n})
         print(output)

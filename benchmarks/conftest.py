@@ -4,11 +4,19 @@ Each benchmark file regenerates one paper artifact (DESIGN.md §3).  The
 ``benchmark`` fixture times the experiment; the experiment's own PASS flag
 asserts the paper's bound held.  Rendered tables are written to
 ``benchmarks/output/`` so EXPERIMENTS.md can reference frozen copies.
+
+Every benchmark additionally emits ``BENCH_<name>.json`` — a
+ledger-style :class:`~repro.obs.ledger.RunRecord` of kind
+``"benchmark"`` holding the run's deterministic outcomes.  CI uploads
+these as artifacts, and they diff with ``repro-dbp obs diff`` like any
+other ledger record.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import sys
 
 import pytest
 
@@ -21,7 +29,67 @@ def output_dir() -> pathlib.Path:
     return OUTPUT_DIR
 
 
+def _ledger_module():
+    # benchmarks run both under pytest (PYTHONPATH=src) and as plain
+    # scripts (no PYTHONPATH); fall back to the in-repo src tree
+    try:
+        from repro.obs import ledger
+    except ImportError:  # pragma: no cover - script invocation
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        )
+        from repro.obs import ledger
+    return ledger
+
+
+def bench_json(
+    output_dir: pathlib.Path,
+    name: str,
+    metrics: dict,
+    *,
+    algorithm: str = "suite",
+    generator: str = "benchmark",
+    config: dict | None = None,
+    wall_s: float | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json``: a machine-readable benchmark record.
+
+    Put wall-clock numbers under a ``timings`` sub-dict — the sentinel
+    never gates on ``metrics.timings.*``, so records stay comparable
+    across machines.
+    """
+    ledger = _ledger_module()
+    rec = ledger.RunRecord(
+        kind="benchmark",
+        algorithm=algorithm,
+        generator=generator,
+        config=dict(config or {}),
+        metrics=metrics,
+        wall_s=wall_s,
+        git=ledger.git_sha(),
+    )
+    path = output_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(rec.to_dict(), indent=2, sort_keys=True, default=float)
+        + "\n"
+    )
+    return path
+
+
 def record(output_dir: pathlib.Path, result) -> None:
-    """Persist an experiment's rendered table next to the benchmarks."""
+    """Persist an experiment's rendered table next to the benchmarks,
+    plus its ``BENCH_<id>.json`` run record."""
     path = output_dir / f"{result.experiment_id}.txt"
     path.write_text(result.render())
+    bench_json(
+        output_dir,
+        result.experiment_id,
+        {
+            "passed": result.passed,
+            "rows": len(result.rows),
+            "columns": len(result.headers),
+            "table": {"headers": result.headers, "rows": result.rows},
+        },
+        algorithm=result.experiment_id,
+        generator="experiment",
+    )

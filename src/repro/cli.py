@@ -12,6 +12,14 @@ Subcommands::
     repro-dbp pack t.csv -a CDFF   # batch-pack a trace file
     repro-dbp replay t.jsonl       # stream a trace (constant memory)
     repro-dbp obs summarize t.out  # aggregate a --trace JSONL by event
+    repro-dbp obs diff a.json b.json        # drift between two ledger records
+    repro-dbp obs regress --baseline b.json # gate a ledger against a baseline
+
+Run-producing commands (``run``/``pack``/``replay``) write one JSON
+provenance record per run into the ledger directory (``--ledger-dir``,
+``REPRO_LEDGER_DIR``, default ``.ledger/``); ``--no-ledger`` disables
+this.  ``replay --invariants`` attaches the online theory-invariant
+monitors (capacity, cost identity, span ≤ cost, Table-1 ratio bounds).
 """
 
 from __future__ import annotations
@@ -36,7 +44,28 @@ _GROUPS = {
 }
 
 
-def _run(ids: Iterable[str], *, profile: bool = False) -> int:
+def _ledger_dir(args):
+    """The ledger directory for a run command, or ``None`` when disabled."""
+    if getattr(args, "no_ledger", False):
+        return None
+    from .obs.ledger import resolve_ledger_dir
+
+    return resolve_ledger_dir(getattr(args, "ledger_dir", None))
+
+
+def _add_ledger_flags(parser) -> None:
+    parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="directory for run ledger records (default: $REPRO_LEDGER_DIR "
+        "or .ledger/)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not write a ledger record for this run",
+    )
+
+
+def _run(ids: Iterable[str], *, profile: bool = False, ledger_dir=None) -> int:
     from .experiments.runner import run_experiment
 
     failures = 0
@@ -45,7 +74,9 @@ def _run(ids: Iterable[str], *, profile: bool = False) -> int:
             print(f"unknown experiment id: {eid}", file=sys.stderr)
             failures += 1
             continue
-        result, report = run_experiment(eid, profile=profile)
+        result, report = run_experiment(
+            eid, profile=profile, ledger_dir=ledger_dir
+        )
         print(result.render())
         if report is not None:
             print(report.render())
@@ -92,6 +123,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--profile", action="store_true",
         help="profile each experiment (wall time, peak RSS, tracemalloc)",
     )
+    _add_ledger_flags(runp)
     for group in _GROUPS:
         sub.add_parser(group, help=f"run the {group} experiments")
     sub.add_parser("all", help="run every registered experiment")
@@ -128,6 +160,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-algorithms", action="store_true",
         help="print available algorithm names and exit",
     )
+    _add_ledger_flags(packp)
     replayp = sub.add_parser(
         "replay",
         help="stream a trace through the constant-memory engine",
@@ -191,14 +224,54 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--profile", action="store_true",
         help="profile the replay (wall time, peak RSS, tracemalloc)",
     )
+    replayp.add_argument(
+        "--invariants", action="store_true",
+        help="attach the online theory-invariant monitors (capacity, cost "
+        "identity, span<=cost, Table-1 ratio bounds); violations are "
+        "reported and recorded in the ledger",
+    )
+    replayp.add_argument(
+        "--strict-invariants", action="store_true",
+        help="like --invariants, but abort with an error on the first "
+        "violation",
+    )
+    _add_ledger_flags(replayp)
     obsp = sub.add_parser(
-        "obs", help="observability utilities (trace summaries)"
+        "obs", help="observability utilities (summaries, ledger sentinel)"
     )
     obssub = obsp.add_subparsers(dest="obs_command", required=True)
     obssump = obssub.add_parser(
         "summarize", help="aggregate a JSONL trace written by replay --trace"
     )
     obssump.add_argument("trace", help="trace file written by --trace")
+    obsdiffp = obssub.add_parser(
+        "diff", help="per-metric drift between two ledger records"
+    )
+    obsdiffp.add_argument("record_a", help="baseline ledger record (JSON)")
+    obsdiffp.add_argument("record_b", help="current ledger record (JSON)")
+    obsdiffp.add_argument(
+        "--tol", action="append", default=[], metavar="PATTERN=REL",
+        help="relative tolerance for metrics matching PATTERN (fnmatch over "
+        "dotted keys, e.g. 'metrics.cost=0.01'); repeatable",
+    )
+    obsregp = obssub.add_parser(
+        "regress",
+        help="gate a ledger directory against a frozen baseline "
+        "(exit 1 on cost drift or new invariant violations)",
+    )
+    obsregp.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file (default: <ledger-dir>/baseline.json)",
+    )
+    obsregp.add_argument(
+        "--ledger-dir", metavar="DIR", default=None,
+        help="ledger directory to check (default: $REPRO_LEDGER_DIR or "
+        ".ledger/)",
+    )
+    obsregp.add_argument(
+        "--tol", action="append", default=[], metavar="PATTERN=REL",
+        help="relative tolerance override, as in `obs diff`; repeatable",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -225,7 +298,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "obs":
         return _obs(args)
     if args.command == "run":
-        return _run(args.ids, profile=args.profile)
+        return _run(
+            args.ids, profile=args.profile, ledger_dir=_ledger_dir(args)
+        )
     if args.command == "all":
         return _run(sorted(EXPERIMENTS))
     return _run(_GROUPS[args.command])
@@ -268,6 +343,31 @@ def _pack(args) -> int:
         f"{result.algorithm}: cost={result.cost:g} bins={result.n_bins} "
         f"max_open={result.max_open}"
     )
+    ledger_dir = _ledger_dir(args)
+    if ledger_dir is not None:
+        import pathlib
+
+        from .obs.ledger import LedgerSink
+
+        sink = LedgerSink(
+            kind="pack",
+            algorithm=result.algorithm,
+            generator=pathlib.Path(args.csv).name,
+            config={"capacity": args.capacity, "indexed": not args.no_index},
+            ledger_dir=ledger_dir,
+        )
+        sink.emit(
+            {
+                "cost": result.cost,
+                "bins": result.n_bins,
+                "max_open": result.max_open,
+                "items": st.n_items,
+                "mu": st.mu,
+                "span": st.span,
+                "demand": st.demand,
+            }
+        )
+        print(f"ledger: {sink.last_path}")
     if args.capacity == 1.0:
         opt = opt_reference(instance, max_exact=16)
         print(f"OPT_R ∈ [{opt.lower:g}, {opt.upper:g}]  "
@@ -312,6 +412,16 @@ def _replay(args) -> int:
         from .obs import PhaseProfiler
 
         profiler = PhaseProfiler(trace_malloc=True, top_allocations=3)
+    monitor = None
+    if args.invariants or args.strict_invariants:
+        from .obs.invariants import InvariantMonitor
+
+        monitor = InvariantMonitor(
+            capacity=args.capacity,
+            algorithm=args.algorithm,
+            strict=args.strict_invariants,
+            tracer=tracer,
+        )
 
     metrics = EngineMetrics()
     if args.resume:
@@ -327,6 +437,9 @@ def _replay(args) -> int:
         metrics = engine.metrics
         if tracer is not None:
             engine.attach_tracer(tracer)
+        if monitor is not None:
+            engine.invariants = monitor
+            engine.attach_listener(monitor)
         skip = engine.accounting.arrivals
         print(
             f"resumed from {args.resume}: {skip} items already fed, "
@@ -340,6 +453,7 @@ def _replay(args) -> int:
             record=args.verify,
             indexed=not args.no_index,
             tracer=tracer,
+            invariants=monitor,
         )
         skip = 0
 
@@ -360,16 +474,22 @@ def _replay(args) -> int:
             if every and fed % every == 0:
                 save_checkpoint(engine, ckpt_path)
 
+    from .obs.invariants import InvariantViolationError
+
     t0 = _time.perf_counter()
     fed = 0
-    if profiler is not None:
-        with profiler.phase("replay"):
+    try:
+        if profiler is not None:
+            with profiler.phase("replay"):
+                _feed_all()
+            with profiler.phase("drain"):
+                summary = engine.finish()
+        else:
             _feed_all()
-        with profiler.phase("drain"):
             summary = engine.finish()
-    else:
-        _feed_all()
-        summary = engine.finish()
+    except InvariantViolationError as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
     elapsed = _time.perf_counter() - t0
 
     events = summary.items + engine.accounting.departures
@@ -394,6 +514,37 @@ def _replay(args) -> int:
         print(f"trace: {written} events -> {args.trace_out}{dropped}")
     if profiler is not None:
         print(profiler.report().render())
+    if monitor is not None:
+        verdicts = monitor.verdicts()
+        n_checks = verdicts["checks"]
+        n_viol = len(verdicts["violations"])
+        status = "ok" if verdicts["ok"] else f"{n_viol} VIOLATION(S)"
+        print(f"invariants: {n_checks} checks -> {status}")
+        for viol in verdicts["violations"]:
+            print(f"  {viol['invariant']}: {viol['message']}", file=sys.stderr)
+    ledger_dir = _ledger_dir(args)
+    if ledger_dir is not None:
+        from pathlib import Path as _Path
+
+        from .obs.ledger import LedgerSink
+
+        sink = LedgerSink(
+            ledger_dir=ledger_dir,
+            kind="replay",
+            algorithm=summary.algorithm,
+            generator=_Path(args.trace).name,
+            config={
+                "capacity": args.capacity,
+                "limit": args.limit,
+                "indexed": not args.no_index,
+                "format": args.format,
+            },
+            profiler=profiler,
+            invariants=monitor,
+            wall_s=elapsed,
+        )
+        sink.emit(metrics.snapshot(extra=summary.to_dict()))
+        print(f"ledger: {sink.last_path}")
     if args.verify:
         from .core.instance import Instance
         from .core.simulation import simulate
@@ -421,15 +572,60 @@ def _replay(args) -> int:
 
 
 def _obs(args) -> int:
-    from .obs import summarize_trace
-
     if args.obs_command == "summarize":
+        from .obs import summarize_trace
+
         try:
             print(summarize_trace(args.trace))
         except (OSError, ValueError) as exc:
             print(f"obs summarize: {exc}", file=sys.stderr)
             return 1
         return 0
+    if args.obs_command == "diff":
+        from .obs.ledger import (
+            diff_records,
+            parse_tolerances,
+            read_record,
+            render_drifts,
+        )
+
+        try:
+            tol = parse_tolerances(args.tol or [])
+            record_a = read_record(args.record_a)
+            record_b = read_record(args.record_b)
+        except (OSError, ValueError) as exc:
+            print(f"obs diff: {exc}", file=sys.stderr)
+            return 1
+        drifts = diff_records(record_a, record_b, tol)
+        for line in render_drifts(drifts):
+            print(line)
+        bad = [d for d in drifts if not d.ok]
+        print(
+            f"diff: {len(drifts)} metrics, "
+            + ("all within tolerance" if not bad else f"{len(bad)} drifted")
+        )
+        return 0 if not bad else 1
+    if args.obs_command == "regress":
+        from .obs.ledger import (
+            parse_tolerances,
+            read_baseline,
+            read_ledger,
+            regress,
+            resolve_ledger_dir,
+        )
+
+        ledger_dir = resolve_ledger_dir(args.ledger_dir)
+        baseline_path = args.baseline or (ledger_dir / "baseline.json")
+        try:
+            tol = parse_tolerances(args.tol or [])
+            current = read_ledger(ledger_dir)
+            baseline = read_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"obs regress: {exc}", file=sys.stderr)
+            return 1
+        report = regress(current, baseline, tol)
+        print(report.render())
+        return 0 if report.ok else 1
     return 1
 
 

@@ -373,6 +373,7 @@ class PlacementKernel:
                 else ListenerFanout(listener)
             )
         self._listener = listener
+        self._bind_listener(listener)
         self._facade = facade if facade is not None else self
         # record-mode history (stays empty unless record=True)
         self._items: List[Item] = []
@@ -431,6 +432,25 @@ class PlacementKernel:
             self._listener.listeners.append(listener)
         else:
             self._listener = ListenerFanout([self._listener, listener])
+        self._bind_listener(listener)
+
+    def _bind_listener(self, listener) -> None:
+        """Hand listeners that want it a back-reference to this kernel.
+
+        A listener exposing ``bind(source)`` (e.g. the invariant
+        monitors in :mod:`repro.obs.invariants`, which cross-check the
+        O(1) cost identity) is bound on attach; fan-outs are unpacked so
+        every member gets the call.  Plain listeners are untouched.
+        """
+        if listener is None:
+            return
+        if isinstance(listener, ListenerFanout):
+            for member in listener.listeners:
+                self._bind_listener(member)
+            return
+        bind = getattr(listener, "bind", None)
+        if callable(bind):
+            bind(self)
 
     def open_bin(self, tag: Hashable = None) -> Bin:
         """Called *by the algorithm inside place()* to open a fresh bin.

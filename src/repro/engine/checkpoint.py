@@ -163,6 +163,7 @@ def restore(checkpoint: Checkpoint) -> Engine:
     engine._observers = []
     engine._last_opened = False
     engine.tracer = None
+    engine.invariants = None  # monitors, like observers, are re-attached
     kernel = engine._kernel
     kernel._listener = engine
     kernel._facade = engine

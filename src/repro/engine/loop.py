@@ -119,6 +119,13 @@ class Engine:
         :class:`~repro.obs.metrics.MetricsListener`).  Like observers,
         they are not checkpointed — re-attach after a restore via
         :meth:`attach_listener`.
+    invariants:
+        Optional :class:`~repro.obs.invariants.InvariantMonitor`; it is
+        attached as a kernel listener (the kernel binds it for the cost
+        identity cross-check), inherits the engine's tracer when it has
+        none of its own, and is finalized by :meth:`finish` so the
+        end-of-run bound checks (``span ≤ cost``, Table-1 ratios) run
+        without the caller having to remember to.
     """
 
     def __init__(
@@ -132,16 +139,22 @@ class Engine:
         indexed: bool = True,
         tracer: Optional[Tracer] = None,
         listeners: tuple = (),
+        invariants=None,
     ) -> None:
         self.metrics = metrics
         self.record = record
         self.tracer = tracer
+        self.invariants = invariants
         self.accounting = RunningAccounting(record_profile=record_profile)
         self._observers: List[Callable[[Event], None]] = []
         self._last_opened = False
         extra: List[KernelListener] = list(listeners)
         if tracer is not None and tracer.enabled:
             extra.append(TracingListener(tracer))
+        if invariants is not None:
+            if getattr(invariants, "tracer", None) is None:
+                invariants.tracer = tracer
+            extra.append(invariants)
         self._kernel = PlacementKernel(
             algorithm,
             capacity=capacity,
@@ -354,8 +367,14 @@ class Engine:
         return self.finish()
 
     def finish(self) -> EngineSummary:
-        """Process every remaining departure and return the summary."""
+        """Process every remaining departure and return the summary.
+
+        Also finalizes an attached invariant monitor, so the end-of-run
+        theory checks run exactly once per completed stream.
+        """
         self._kernel.drain()
+        if self.invariants is not None:
+            self.invariants.finalize()
         return self.summary()
 
     # ------------------------------------------------------------------ #

@@ -68,8 +68,14 @@ class ExperimentResult:
         return "\n".join(parts) + "\n"
 
     def to_csv(self) -> str:
+        """RFC-4180 CSV of the table (``\\n`` line ends on every platform).
+
+        Cells containing commas, quotes or newlines are quoted/escaped by
+        the ``csv`` module, so the output round-trips through any
+        standard CSV reader.
+        """
         buf = io.StringIO()
-        w = csv.writer(buf)
+        w = csv.writer(buf, lineterminator="\n", quoting=csv.QUOTE_MINIMAL)
         w.writerow(self.headers)
         w.writerows(self.rows)
         return buf.getvalue()
@@ -95,6 +101,7 @@ def run_experiment(
     *,
     profile: bool = False,
     profile_dir: Optional[Union[str, pathlib.Path]] = None,
+    ledger_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> Tuple[ExperimentResult, Optional["object"]]:
     """Run one registered experiment, optionally under the profiler.
 
@@ -106,21 +113,45 @@ def run_experiment(
     written as ``<id>.profile.json`` next to the experiment's other
     output — this is what gives every experiment ID a timing/memory
     record alongside its table.
+
+    With ``ledger_dir`` set, a ``kind="experiment"`` run record (the
+    table plus pass/fail, see :mod:`repro.obs.ledger`) is written there;
+    ``None`` (the default) keeps library callers write-free.
     """
     fn = EXPERIMENTS.get(experiment_id)
     if fn is None:
         raise KeyError(f"unknown experiment id: {experiment_id}")
-    if not profile:
-        return fn(), None
-    from ..obs.profile import PhaseProfiler
+    report = None
+    if profile:
+        from ..obs.profile import PhaseProfiler
 
-    prof = PhaseProfiler(trace_malloc=True, top_allocations=3)
-    with prof.phase(experiment_id):
+        prof = PhaseProfiler(trace_malloc=True, top_allocations=3)
+        with prof.phase(experiment_id):
+            result = fn()
+        report = prof.report()
+        if profile_dir is not None:
+            out_dir = pathlib.Path(profile_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{experiment_id}.profile.json"
+            path.write_text(json.dumps(report.to_dict(), indent=2))
+    else:
         result = fn()
-    report = prof.report()
-    if profile_dir is not None:
-        out_dir = pathlib.Path(profile_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        path = out_dir / f"{experiment_id}.profile.json"
-        path.write_text(json.dumps(report.to_dict(), indent=2))
+    if ledger_dir is not None:
+        from ..obs.ledger import RunRecord, git_sha
+
+        record = RunRecord(
+            kind="experiment",
+            algorithm=experiment_id,
+            generator="registry",
+            config={"experiment_id": experiment_id},
+            metrics={
+                "passed": result.passed,
+                "rows": len(result.rows),
+                "columns": len(result.headers),
+            },
+            profile=report.to_dict() if report is not None else None,
+            wall_s=report.total_wall_s if report is not None else None,
+            git=git_sha(),
+        )
+        record.write(ledger_dir)
     return result, report

@@ -14,7 +14,13 @@ go", shared by every frontend:
 - :mod:`repro.obs.profile` — per-phase wall time / peak RSS /
   ``tracemalloc`` **profiling** (``repro-dbp run --profile``);
 - :mod:`repro.obs.export` — sinks (memory, JSON, JSONL, console) and
-  human-readable summaries (``repro-dbp obs summarize``).
+  human-readable summaries (``repro-dbp obs summarize``);
+- :mod:`repro.obs.invariants` — online **theory-invariant monitors**
+  (capacity, cost identity, ``span ≤ cost``, Table-1 ratio bounds)
+  emitting structured ``invariant.violation`` events;
+- :mod:`repro.obs.ledger` — the **run ledger** (one JSON provenance
+  record per run in ``.ledger/``) and the regression sentinel behind
+  ``repro-dbp obs diff`` / ``obs regress``.
 
 Quickstart::
 
@@ -37,6 +43,33 @@ from .export import (
     MetricsSink,
     render_summary,
     summarize_trace,
+)
+from .invariants import (
+    RATIO_BOUNDS,
+    InvariantMonitor,
+    InvariantViolationError,
+    Violation,
+    ratio_bound_for,
+)
+from .ledger import (
+    DEFAULT_LEDGER_DIR,
+    DEFAULT_TOLERANCES,
+    LEDGER_ENV,
+    Drift,
+    LedgerSink,
+    RegressReport,
+    RunRecord,
+    config_hash,
+    diff_records,
+    flatten_metrics,
+    git_sha,
+    parse_tolerances,
+    read_baseline,
+    read_ledger,
+    read_record,
+    regress,
+    render_drifts,
+    resolve_ledger_dir,
 )
 from .metrics import (
     BINS_OPEN_EDGES,
@@ -95,4 +128,29 @@ __all__ = [
     "MemorySink",
     "render_summary",
     "summarize_trace",
+    # invariants
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "Violation",
+    "RATIO_BOUNDS",
+    "ratio_bound_for",
+    # ledger + sentinel
+    "LEDGER_ENV",
+    "DEFAULT_LEDGER_DIR",
+    "DEFAULT_TOLERANCES",
+    "RunRecord",
+    "LedgerSink",
+    "RegressReport",
+    "Drift",
+    "resolve_ledger_dir",
+    "git_sha",
+    "config_hash",
+    "read_record",
+    "read_ledger",
+    "read_baseline",
+    "flatten_metrics",
+    "diff_records",
+    "regress",
+    "render_drifts",
+    "parse_tolerances",
 ]

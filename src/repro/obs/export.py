@@ -163,6 +163,11 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
     Works on anything :meth:`repro.obs.trace.Tracer.write_jsonl` wrote:
     groups records by event name, counting occurrences and (for spans)
     total/mean/max duration, and reports the covered wall-time window.
+
+    Raises ``ValueError`` on an empty or truncated/corrupted file and
+    ``OSError`` on a missing one — a trace with nothing in it means the
+    run was configured wrong (tracer never attached), and silently
+    summarizing it as fine would mask that.
     """
     path = pathlib.Path(path)
     per_name: dict = {}
@@ -191,7 +196,10 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
             agg["dur_ns"] += dur
             agg["max_ns"] = max(agg["max_ns"], dur)
     if not total:
-        return f"{path}: empty trace"
+        raise ValueError(
+            f"{path}: empty trace (no events; was the tracer attached "
+            "and the file written with --trace?)"
+        )
     span_ms = (t_hi - t_lo) / 1e6
     lines = [
         f"{path}: {total:,} events over {span_ms:.2f} ms",

@@ -29,6 +29,16 @@ settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+@pytest.fixture(autouse=True)
+def _ledger_to_tmpdir(tmp_path, monkeypatch):
+    """Redirect every ledger write to the test's tmpdir.
+
+    CLI entry points write run records by default; without this, tests
+    that drive ``main()`` would litter ``.ledger/`` in the repo.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def tiny_instance() -> Instance:
     """Three overlapping items, hand-checkable."""

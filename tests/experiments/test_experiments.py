@@ -57,6 +57,30 @@ class TestRunner:
         res = ExperimentResult("X", "t", ["a"], [[1]], [], False)
         assert "FAIL" in res.render()
 
+    def test_csv_quotes_commas_newlines_and_quotes(self):
+        # cells with CSV metacharacters must round-trip through a
+        # standard reader, not shift columns
+        import csv
+        import io
+
+        headers = ["name", "note"]
+        rows = [
+            ["a,b", 'says "hi"'],
+            ["multi\nline", 3.5],
+        ]
+        res = ExperimentResult("X", "t", headers, rows, [], True)
+        text = res.to_csv()
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == headers
+        assert parsed[1] == ["a,b", 'says "hi"']
+        assert parsed[2] == ["multi\nline", "3.5"]
+
+    def test_csv_uses_unix_line_endings(self):
+        res = ExperimentResult("X", "t", ["a"], [[1], [2]], [], True)
+        text = res.to_csv()
+        assert "\r" not in text
+        assert text == "a\n1\n2\n"
+
 
 class TestTable1Small:
     def test_general_upper(self):

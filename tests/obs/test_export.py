@@ -105,10 +105,17 @@ class TestSummarizeTrace:
             next(ln for ln in lines if "replay" in ln)
         ) < lines.index(next(ln for ln in lines if "kernel.place" in ln))
 
-    def test_empty_trace(self, tmp_path):
+    def test_empty_trace_raises(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        assert "empty trace" in summarize_trace(path)
+        with pytest.raises(ValueError, match="empty trace"):
+            summarize_trace(path)
+
+    def test_whitespace_only_trace_raises(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n  \n")
+        with pytest.raises(ValueError, match="empty trace"):
+            summarize_trace(path)
 
     def test_bad_line_raises_with_location(self, tmp_path):
         path = tmp_path / "bad.jsonl"

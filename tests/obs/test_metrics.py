@@ -97,6 +97,42 @@ class TestHistogram:
         d = h.to_dict()
         assert list(d["buckets"]) == ["<= 1", "(1, 2]", "> 2"]
 
+    def test_merge_empty_into_empty(self):
+        a, b = Histogram((1, 2)), Histogram((1, 2))
+        a.merge(b)
+        assert a.counts == [0, 0, 0]
+        assert a.total == 0 and a.sum == 0.0 and a.mean == 0.0
+
+    def test_merge_empty_into_populated_is_identity(self):
+        a, b = Histogram((1, 2)), Histogram((1, 2))
+        a.observe(0.5)
+        a.observe(1.5)
+        before = (list(a.counts), a.total, a.sum)
+        a.merge(b)
+        assert (list(a.counts), a.total, a.sum) == before
+        assert a.mean == 1.0
+
+    def test_merge_populated_into_empty_copies_everything(self):
+        a, b = Histogram((1, 2)), Histogram((1, 2))
+        b.observe(0.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.counts == b.counts and a.counts == [1, 0, 1]
+        assert a.total == 2 and a.mean == b.mean
+
+    def test_merge_disjoint_buckets_sums_without_overlap(self):
+        # shards that each only touched different buckets must
+        # interleave cleanly: no bucket double-counts, mean is exact
+        a, b = Histogram((1, 2, 4)), Histogram((1, 2, 4))
+        for x in (0.25, 0.75):  # a hits only the underflow bucket
+            a.observe(x)
+        for x in (3.0, 9.0):  # b hits only (2,4] and overflow
+            b.observe(x)
+        a.merge(b)
+        assert a.counts == [2, 0, 1, 1]
+        assert a.total == 4
+        assert a.mean == pytest.approx((0.25 + 0.75 + 3.0 + 9.0) / 4)
+
 
 class TestTiming:
     def test_observe_and_merge(self):

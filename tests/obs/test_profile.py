@@ -61,6 +61,56 @@ class TestPhaseProfiler:
         finally:
             tracemalloc.stop()
 
+    def test_nested_phases_both_record_allocations(self):
+        # an inner profiler's phase runs inside an outer tracing phase:
+        # the inner one must not stop tracemalloc out from under the
+        # outer, and both must still report allocation numbers
+        outer = PhaseProfiler(trace_malloc=True)
+        inner = PhaseProfiler(trace_malloc=True)
+        with outer.phase("outer"):
+            held = [bytes(1024) for _ in range(128)]
+            with inner.phase("inner"):
+                nested = [bytes(1024) for _ in range(256)]
+            assert tracemalloc.is_tracing()  # inner left it running
+        assert not tracemalloc.is_tracing()  # outer stopped what it started
+        (po,) = outer.report().phases
+        (pi,) = inner.report().phases
+        assert pi.alloc_delta_kb is not None and pi.alloc_delta_kb > 128
+        assert po.alloc_delta_kb is not None
+        # the outer phase spans the inner one, so it holds at least as
+        # much net allocation as the inner phase contributed
+        assert po.alloc_delta_kb >= pi.alloc_delta_kb
+        assert po.alloc_peak_kb is not None and pi.alloc_peak_kb is not None
+        del held, nested
+
+    def test_nested_phase_peak_is_reset_per_phase(self):
+        # reset_peak() at inner-phase entry: a large allocation freed
+        # BEFORE the inner phase must not inflate the inner phase's peak
+        outer = PhaseProfiler(trace_malloc=True)
+        inner = PhaseProfiler(trace_malloc=True)
+        with outer.phase("outer"):
+            spike = [bytes(1024) for _ in range(2048)]  # ~2 MiB
+            del spike
+            with inner.phase("inner"):
+                small = [bytes(64) for _ in range(16)]
+            del small
+        (pi,) = inner.report().phases
+        assert pi.alloc_peak_kb is not None
+        assert pi.alloc_peak_kb < 1024  # spike happened outside the phase
+
+    def test_nested_sequential_phases_under_one_outer(self):
+        outer = PhaseProfiler(trace_malloc=True)
+        inner = PhaseProfiler(trace_malloc=True)
+        with outer.phase("outer"):
+            for name in ("a", "b"):
+                with inner.phase(name):
+                    pass
+        assert not tracemalloc.is_tracing()
+        assert [p.name for p in inner.report().phases] == ["a", "b"]
+        assert all(
+            p.alloc_delta_kb is not None for p in inner.report().phases
+        )
+
     def test_phase_recorded_on_exception(self):
         prof = PhaseProfiler()
         try:

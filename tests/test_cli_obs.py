@@ -1,0 +1,208 @@
+"""CLI tests for the obs verbs (summarize error paths, diff, regress)
+and the ledger flags shared by run/pack/replay."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import read_ledger
+from repro.workloads import dump_jsonl, uniform_random
+
+
+@pytest.fixture
+def jsonl_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    dump_jsonl(uniform_random(100, 16, seed=0), path)
+    return str(path)
+
+
+class TestSummarizeErrors:
+    def test_missing_file_is_one_line_error(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize:")
+        assert "Traceback" not in err
+
+    def test_empty_trace_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "summarize", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "empty trace" in err
+        assert err.count("\n") == 1
+
+    def test_truncated_trace_reports_line_number(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"name": "ok"}\n{"name": "cut-off', )
+        assert main(["obs", "summarize", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert f"{path}:2" in err
+        assert "Traceback" not in err
+
+
+class TestLedgerFlags:
+    def test_replay_writes_ledger_record(self, jsonl_path, tmp_path, capsys):
+        led = tmp_path / "led"
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit",
+             "--ledger-dir", str(led)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ledger:" in out
+        (rec,) = read_ledger(led)
+        assert rec.kind == "replay"
+        assert rec.algorithm == "FirstFit"
+        assert rec.metrics["cost"] > 0
+        assert rec.invariants is None  # monitors are opt-in
+
+    def test_no_ledger_suppresses_writes(self, jsonl_path, tmp_path, capsys,
+                                         monkeypatch):
+        led = tmp_path / "led"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(led))
+        assert main(["replay", jsonl_path, "--no-ledger"]) == 0
+        assert "ledger:" not in capsys.readouterr().out
+        assert not led.exists()
+
+    def test_env_var_redirects_ledger(self, jsonl_path, tmp_path, capsys,
+                                      monkeypatch):
+        led = tmp_path / "via-env"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(led))
+        assert main(["replay", jsonl_path, "-a", "FirstFit"]) == 0
+        assert len(read_ledger(led)) == 1
+
+    def test_invariants_flag_attaches_monitor(self, jsonl_path, tmp_path,
+                                              capsys):
+        led = tmp_path / "led"
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit", "--invariants",
+             "--ledger-dir", str(led)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "invariants:" in out and "-> ok" in out
+        (rec,) = read_ledger(led)
+        assert rec.invariants["ok"] is True
+        assert rec.invariants["violations"] == []
+
+    def test_run_experiment_writes_ledger(self, tmp_path, capsys):
+        led = tmp_path / "led"
+        assert main(["run", "LEM3.1", "--ledger-dir", str(led)]) == 0
+        (rec,) = read_ledger(led)
+        assert rec.kind == "experiment"
+        assert rec.metrics["passed"] == 1 or rec.metrics["passed"] is True
+
+
+class TestDiff:
+    def _two_records(self, jsonl_path, tmp_path, drift=False):
+        led_a, led_b = tmp_path / "a", tmp_path / "b"
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit",
+             "--ledger-dir", str(led_a)]
+        ) == 0
+        args = ["replay", jsonl_path, "-a", "FirstFit",
+                "--ledger-dir", str(led_b)]
+        if drift:
+            args += ["--limit", "50"]  # different workload => cost drift
+        assert main(args) == 0
+        (pa,) = list(led_a.glob("replay-*.json"))
+        (pb,) = list(led_b.glob("replay-*.json"))
+        return str(pa), str(pb)
+
+    def test_identical_records_pass(self, jsonl_path, tmp_path, capsys):
+        pa, pb = self._two_records(jsonl_path, tmp_path)
+        assert main(["obs", "diff", pa, pb]) == 0
+        assert "all within tolerance" in capsys.readouterr().out
+
+    def test_drifted_records_fail(self, jsonl_path, tmp_path, capsys):
+        pa, pb = self._two_records(jsonl_path, tmp_path, drift=True)
+        assert main(["obs", "diff", pa, pb]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "drifted" in out
+
+    def test_tolerance_flag_loosens_gate(self, jsonl_path, tmp_path, capsys):
+        pa, pb = self._two_records(jsonl_path, tmp_path, drift=True)
+        # with an everything-goes tolerance the same pair passes
+        assert main(["obs", "diff", pa, pb, "--tol", "*=10"]) == 0
+
+    def test_damaged_record_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["obs", "diff", str(bad), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs diff:")
+        assert "Traceback" not in err
+
+    def test_malformed_tolerance_is_one_line_error(self, tmp_path, capsys):
+        p = tmp_path / "r.json"
+        p.write_text(json.dumps({"kind": "x"}))
+        assert main(["obs", "diff", str(p), str(p), "--tol", "broken"]) == 1
+        assert "PATTERN=REL" in capsys.readouterr().err
+
+
+class TestRegress:
+    def _ledger_with_baseline(self, jsonl_path, tmp_path):
+        led = tmp_path / "led"
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit", "--invariants",
+             "--ledger-dir", str(led)]
+        ) == 0
+        records = [json.loads(p.read_text())
+                   for p in sorted(led.glob("*.json"))]
+        (led / "baseline.json").write_text(
+            json.dumps({"records": records})
+        )
+        return led
+
+    def test_self_baseline_passes(self, jsonl_path, tmp_path, capsys):
+        led = self._ledger_with_baseline(jsonl_path, tmp_path)
+        assert main(["obs", "regress", "--ledger-dir", str(led)]) == 0
+        assert "regress: PASS" in capsys.readouterr().out
+
+    def test_cost_drift_fails(self, jsonl_path, tmp_path, capsys):
+        led = self._ledger_with_baseline(jsonl_path, tmp_path)
+        # skew the baseline cost so the (matching) current record drifts
+        base = json.loads((led / "baseline.json").read_text())
+        base["records"][0]["metrics"]["cost"] += 100.0
+        (led / "baseline.json").write_text(json.dumps(base))
+        assert main(["obs", "regress", "--ledger-dir", str(led)]) == 1
+        out = capsys.readouterr().out
+        assert "regress: FAIL" in out and "metrics.cost" in out
+
+    def test_new_violation_fails(self, jsonl_path, tmp_path, capsys):
+        led = self._ledger_with_baseline(jsonl_path, tmp_path)
+        # corrupt the *current* record with a fabricated violation
+        (path,) = list(led.glob("replay-*.json"))
+        rec = json.loads(path.read_text())
+        rec["invariants"]["violations"] = [
+            {"invariant": "span-cost", "message": "fabricated"}
+        ]
+        path.write_text(json.dumps(rec))
+        assert main(["obs", "regress", "--ledger-dir", str(led)]) == 1
+        assert "invariants.n_violations" in capsys.readouterr().out
+
+    def test_missing_baseline_is_one_line_error(self, tmp_path, capsys):
+        assert main(
+            ["obs", "regress", "--ledger-dir", str(tmp_path / "void")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs regress:")
+        assert "Traceback" not in err
+
+    def test_explicit_baseline_path(self, jsonl_path, tmp_path, capsys):
+        led = self._ledger_with_baseline(jsonl_path, tmp_path)
+        moved = tmp_path / "frozen.json"
+        moved.write_text((led / "baseline.json").read_text())
+        (led / "baseline.json").unlink()
+        assert main(
+            ["obs", "regress", "--ledger-dir", str(led),
+             "--baseline", str(moved)]
+        ) == 0
+
+
+class TestStrictInvariants:
+    def test_strict_flag_on_clean_run_passes(self, jsonl_path, capsys):
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit", "--strict-invariants",
+             "--no-ledger"]
+        ) == 0
+        assert "invariants:" in capsys.readouterr().out
