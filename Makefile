@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures table1 curves docs regress sweep clean all
+.PHONY: install test bench report figures table1 curves docs regress sweep serve-smoke clean all
 
 install:
 	pip install -e .
@@ -40,6 +40,13 @@ regress:
 # attached; fails on any violation.
 sweep:
 	$(PYTHON) scripts/invariant_sweep.py
+
+# Boot a placement server, round-trip 1k requests through the load
+# generator, SIGTERM-drain it, then prove service/batch parity for
+# every registered algorithm.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) -m repro.serve.parity
 
 all: install test bench report
 

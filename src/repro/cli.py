@@ -272,6 +272,95 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--tol", action="append", default=[], metavar="PATTERN=REL",
         help="relative tolerance override, as in `obs diff`; repeatable",
     )
+    servep = sub.add_parser(
+        "serve",
+        help="run the placement service (JSONL over TCP)",
+        description="Serve placement decisions over TCP: clients submit "
+        "arrive/depart/advance/stats requests as JSON lines and receive "
+        "one reply per request.  SIGTERM/SIGINT drains gracefully "
+        "(flush micro-batchers, work queues dry, checkpoint every "
+        "shard).  See docs/serving.md for the protocol.",
+    )
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 = pick a free one; printed on startup)",
+    )
+    servep.add_argument(
+        "-a", "--algo", "--algorithm", dest="algorithm",
+        default="HybridAlgorithm",
+        help="algorithm name (see `pack --list-algorithms`)",
+    )
+    servep.add_argument("--capacity", type=float, default=1.0)
+    servep.add_argument(
+        "--shards", type=int, default=1,
+        help="worker shards (one kernel each; consistent-hash routed)",
+    )
+    servep.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="per-shard queue bound in micro-batches; beyond it clients "
+        "get {'error': 'overloaded', 'retry_after': ...}",
+    )
+    servep.add_argument(
+        "--batch-max", type=int, default=1,
+        help="micro-batch size (1 = batching off)",
+    )
+    servep.add_argument(
+        "--batch-delay", type=float, default=0.0, metavar="SECONDS",
+        help="micro-batch age bound (0 = batching off)",
+    )
+    servep.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write one v2 checkpoint per shard on drain",
+    )
+    servep.add_argument(
+        "--resume", action="store_true",
+        help="restore shards from --checkpoint-dir before serving",
+    )
+    servep.add_argument(
+        "--no-index", action="store_true",
+        help="disable the kernel's O(log n) open-bin index",
+    )
+    servep.add_argument(
+        "--no-metrics", action="store_true",
+        help="skip per-shard EngineMetrics collection",
+    )
+    _add_ledger_flags(servep)
+    loadgenp = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a placement server",
+        description="Replay a registered workload generator against a "
+        "running `repro-dbp serve` as open-loop traffic (request i is "
+        "sent at t0 + i/rate regardless of reply progress) and report "
+        "achieved throughput and reply-latency percentiles.",
+    )
+    loadgenp.add_argument("--host", default="127.0.0.1")
+    loadgenp.add_argument("--port", type=int, required=True)
+    loadgenp.add_argument(
+        "-w", "--workload", default="uniform",
+        help="workload generator (see --list-workloads)",
+    )
+    loadgenp.add_argument(
+        "-n", "--items", type=int, default=1000,
+        help="number of arrive requests to send",
+    )
+    loadgenp.add_argument(
+        "--rate", type=float, default=5000.0,
+        help="offered load, requests/second (global across connections)",
+    )
+    loadgenp.add_argument(
+        "--connections", type=int, default=1,
+        help="concurrent pipelined connections (must not exceed the "
+        "server's shard count; each lands on its own shard)",
+    )
+    loadgenp.add_argument("--seed", type=int, default=0)
+    loadgenp.add_argument(
+        "--json", metavar="OUT.json", help="also write the report as JSON"
+    )
+    loadgenp.add_argument(
+        "--list-workloads", action="store_true",
+        help="print registered workload names and exit",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -297,6 +386,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _replay(args)
     if args.command == "obs":
         return _obs(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     if args.command == "run":
         return _run(
             args.ids, profile=args.profile, ledger_dir=_ledger_dir(args)
@@ -538,6 +631,7 @@ def _replay(args) -> int:
                 "limit": args.limit,
                 "indexed": not args.no_index,
                 "format": args.format,
+                "resumed": bool(args.resume),
             },
             profiler=profiler,
             invariants=monitor,
@@ -568,6 +662,123 @@ def _replay(args) -> int:
         )
         if not ok:
             return 1
+    return 0
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from .parallel import ALGORITHM_REGISTRY, _registry
+    from .serve import PlacementServer, ServeConfig
+
+    if args.algorithm not in _registry():
+        print(
+            f"unknown algorithm {args.algorithm!r}; options: "
+            + ", ".join(ALGORITHM_REGISTRY),
+            file=sys.stderr,
+        )
+        return 1
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        algorithm=args.algorithm,
+        capacity=args.capacity,
+        indexed=not args.no_index,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+        batch_delay=args.batch_delay,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        metrics=not args.no_metrics,
+        ledger_dir=_ledger_dir(args),
+    )
+
+    import gc
+
+    async def _main() -> None:
+        server = PlacementServer(config)
+        await server.start()
+        # tail-latency hygiene: startup objects (registry, modules, the
+        # shards themselves) never die, so take them out of every future
+        # collection and make young-gen sweeps rarer
+        gc.collect()
+        gc.freeze()
+        gc.set_threshold(50_000, 50, 50)
+        resumed = [
+            s.shard_id for s in server.shards
+            if s.engine.accounting.arrivals > 0
+        ]
+        print(
+            f"serving {config.algorithm} on {config.host}:{server.port} "
+            f"({config.shards} shard(s)"
+            + (f", resumed {len(resumed)} from checkpoint" if resumed else "")
+            + ")",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        import signal as _signal
+
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server._request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.drained.wait()
+        totals = server.totals()
+        print(
+            f"drained: {totals['requests']} requests "
+            f"({totals['accepted']} accepted, {totals['errors']} errors), "
+            f"cost={totals['cost']:g}"
+        )
+        if config.checkpoint_dir is not None:
+            print(f"checkpoints: {config.checkpoint_dir}")
+        path = getattr(server, "ledger_path", None)
+        if path is not None:
+            print(f"ledger: {path}")
+
+    asyncio.run(_main())
+    return 0
+
+
+def _loadgen(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .serve.loadgen import WORKLOADS, make_workload, run_loadgen
+
+    if args.list_workloads:
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+    if args.workload not in WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; options: "
+            + ", ".join(sorted(WORKLOADS)),
+            file=sys.stderr,
+        )
+        return 1
+    instance = make_workload(args.workload, args.items, args.seed)
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                args.host,
+                args.port,
+                instance=instance,
+                rate=args.rate,
+                connections=args.connections,
+                workload=args.workload,
+            )
+        )
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.json}")
     return 0
 
 

@@ -1,0 +1,69 @@
+"""repro.serve — the asyncio placement service.
+
+A JSONL-over-TCP daemon that exposes the streaming placement engine as
+a network service: clients submit ``arrive``/``depart``/``advance``/
+``stats`` requests and receive placement decisions (which bin, whether
+it was freshly opened) as replies.  The moving pieces:
+
+- :mod:`repro.serve.protocol` — the versioned wire schema, strict
+  validation, structured error replies;
+- :mod:`repro.serve.shard` — worker shards, each owning one placement
+  kernel behind a bounded queue, consistent-hash routed;
+- :mod:`repro.serve.batcher` — micro-batching of near-simultaneous
+  arrivals (flush on size or age);
+- :mod:`repro.serve.server` — the daemon: backpressure, graceful
+  drain with per-shard v2 checkpoints, obs/ledger integration;
+- :mod:`repro.serve.client` — a pipelined async client;
+- :mod:`repro.serve.loadgen` — an open-loop load generator with
+  latency percentiles;
+- :mod:`repro.serve.parity` — the correctness anchor: a single-shard
+  server's decisions are bit-identical to batch ``simulate()``.
+
+See ``docs/serving.md`` for the protocol spec and lifecycle.
+"""
+
+from .batcher import MicroBatcher
+from .client import PlacementClient
+from .loadgen import WORKLOADS, LoadReport, make_workload, run_loadgen
+from .parity import (
+    ServiceParityReport,
+    check_service_parity,
+    service_parity_suite,
+)
+from .protocol import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from .server import PlacementServer, ServeConfig
+from .shard import HashRing, PlacementShard, stable_hash
+
+__all__ = [
+    "ERROR_CODES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "HashRing",
+    "LoadReport",
+    "MicroBatcher",
+    "PlacementClient",
+    "PlacementServer",
+    "PlacementShard",
+    "ProtocolError",
+    "Request",
+    "ServeConfig",
+    "ServiceParityReport",
+    "WORKLOADS",
+    "check_service_parity",
+    "error_reply",
+    "make_workload",
+    "ok_reply",
+    "parse_request",
+    "run_loadgen",
+    "service_parity_suite",
+    "stable_hash",
+]

@@ -1,0 +1,327 @@
+"""Open-loop load generation against a running placement server.
+
+The generator replays any registered workload (or a JSONL trace file) as
+**timed traffic**: request *i* is sent at wall-clock ``t0 + i/rate``
+regardless of how fast earlier replies came back.  Open-loop is the
+honest way to load-test a service — a closed loop (wait for each reply)
+silently slows the offered rate exactly when the server struggles,
+hiding the latency it should be measuring.
+
+Items are partitioned round-robin over ``connections`` concurrent
+client connections.  Each connection stamps its requests with a
+``tenant`` key chosen (via the same deterministic hash ring the server
+routes with) so that **every connection lands on its own shard**: a
+connection's sub-stream is FIFO end-to-end, so each shard sees arrivals
+in nondecreasing paper time — the kernel's hard requirement.  Two
+connections sharing a shard would interleave arbitrarily under
+scheduling jitter and manufacture ``out-of-order`` rejections the
+server never deserved, so ``connections`` must not exceed the server's
+shard count (probed over the wire before traffic starts).
+
+The resulting :class:`LoadReport` carries offered vs achieved
+throughput, reply percentiles (p50/p90/p99/max, measured send→reply per
+request), and the error breakdown (``overloaded`` backpressure replies
+are counted, not retried).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.instance import Instance
+from .client import PlacementClient
+from .shard import HashRing
+
+__all__ = [
+    "WORKLOADS",
+    "LoadReport",
+    "make_workload",
+    "run_loadgen",
+    "shard_affine_tenants",
+]
+
+
+def _uniform(n: int, seed: int) -> Instance:
+    from ..workloads import uniform_random
+
+    # horizon scales with n so steady-state concurrency (and therefore
+    # per-placement cost) stays bounded as the trace grows
+    return uniform_random(n, 16.0, seed=seed, horizon=max(64.0, n / 32.0))
+
+
+def _poisson(n: int, seed: int) -> Instance:
+    from ..workloads import poisson_random
+
+    # horizon scaled so the expected item count comfortably exceeds n
+    inst = poisson_random(2.0, 8.0, max(4.0, n / 2.0 + 32.0), seed=seed)
+    return Instance(list(inst)[:n])
+
+
+def _cloud(n: int, seed: int) -> Instance:
+    from ..workloads import cloud_gaming
+
+    inst = cloud_gaming(max(4.0, n / 2.0 + 16.0), seed=seed)
+    return Instance(list(inst)[:n])
+
+
+def _batch_jobs(n: int, seed: int) -> Instance:
+    from ..workloads import batch_jobs
+
+    waves = max(1, round(n ** 0.5))
+    inst = batch_jobs(waves, max(1, n // waves + 1), seed=seed)
+    return Instance(list(inst)[:n])
+
+
+def _aligned(n: int, seed: int) -> Instance:
+    from ..workloads import aligned_random
+
+    inst = aligned_random(32, max(8, n), seed=seed)
+    return Instance(list(inst)[:n])
+
+
+def _staircase(n: int, seed: int) -> Instance:
+    # the adversary's nested-duration batch (lengths 1, 2, 4, ...),
+    # re-released once per time unit until the trace holds n items
+    levels = 12
+    triples = []
+    batch = 0
+    while len(triples) < n:
+        for i in range(levels):
+            triples.append((float(batch), float(batch + 2**i), 0.3))
+            if len(triples) == n:
+                break
+        batch += 1
+    return Instance.from_tuples(triples)
+
+
+#: workload name → ``f(n_items, seed) -> Instance`` (arrival-ordered)
+WORKLOADS = {
+    "uniform": _uniform,
+    "poisson": _poisson,
+    "cloud": _cloud,
+    "batch_jobs": _batch_jobs,
+    "aligned": _aligned,
+    "staircase": _staircase,
+}
+
+
+def make_workload(name: str, n: int, seed: int = 0) -> Instance:
+    """Build ``n`` arrival-ordered items from a registered generator."""
+    if name not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {name!r}; options: "
+            + ", ".join(sorted(WORKLOADS))
+        )
+    return WORKLOADS[name](n, seed)
+
+
+def shard_affine_tenants(n_shards: int, connections: int) -> List[str]:
+    """One tenant key per connection, each routing to a distinct shard.
+
+    The hash ring is deterministic, so the client can search key space
+    locally: connection ``j`` gets the first ``lg-<j>-<salt>`` key that
+    the server's ring will route to shard ``j``.
+    """
+    if connections > n_shards:
+        raise ValueError(
+            f"connections ({connections}) must not exceed the server's "
+            f"shard count ({n_shards}): two connections sharing a shard "
+            "would interleave and break per-shard arrival order"
+        )
+    ring = HashRing(n_shards)
+    tenants = []
+    for j in range(connections):
+        salt = 0
+        while ring.shard_for(f"lg-{j}-{salt}") != j:
+            salt += 1
+        tenants.append(f"lg-{j}-{salt}")
+    return tenants
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run (JSON-friendly)."""
+
+    workload: str
+    items: int
+    connections: int
+    offered_rps: float  #: the target rate
+    duration_s: float
+    ok: int
+    errors: int
+    error_codes: Dict[str, int] = field(default_factory=dict)
+    p50_ms: float = 0.0
+    p90_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    server_stats: Optional[dict] = None
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.items / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "items": self.items,
+            "connections": self.connections,
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "duration_s": self.duration_s,
+            "ok": self.ok,
+            "errors": self.errors,
+            "error_codes": dict(self.error_codes),
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p90": self.p90_ms,
+                "p99": self.p99_ms,
+                "max": self.max_ms,
+            },
+            "server_stats": self.server_stats,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.items} requests over {self.connections} "
+            f"connection(s), workload={self.workload}",
+            f"  offered {self.offered_rps:,.0f} req/s -> achieved "
+            f"{self.achieved_rps:,.0f} req/s in {self.duration_s:.3f}s",
+            f"  replies: {self.ok} ok, {self.errors} errors"
+            + (f" {self.error_codes}" if self.error_codes else ""),
+            f"  latency: p50={self.p50_ms:.3f}ms p90={self.p90_ms:.3f}ms "
+            f"p99={self.p99_ms:.3f}ms max={self.max_ms:.3f}ms",
+        ]
+        return "\n".join(lines)
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    instance: Instance,
+    rate: float = 5000.0,
+    connections: int = 1,
+    workload: str = "instance",
+    fetch_stats: bool = True,
+) -> LoadReport:
+    """Replay ``instance`` as open-loop traffic; measure reply latency.
+
+    ``rate`` is the *global* offered rate in requests/second; item ``i``
+    (in arrival order) is scheduled at ``t0 + i/rate``.  Items go
+    round-robin to ``connections`` pipelined connections, each tagged
+    with a per-connection tenant key.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    items = list(instance)
+    clients = [
+        await PlacementClient.connect(host, port) for _ in range(connections)
+    ]
+    probe = await clients[0].stats()
+    n_shards = int(probe.get("shards", 1))
+    try:
+        tenants = shard_affine_tenants(n_shards, connections)
+    except ValueError:
+        for client in clients:
+            await client.aclose()
+        raise
+    latencies: List[float] = []
+    error_codes: Dict[str, int] = {}
+    ok = 0
+
+    def measured(future: asyncio.Future, sent_at: float) -> asyncio.Future:
+        # a done-callback, not a task per request: 10k in-flight requests
+        # cost 10k callbacks, and the event loop stays responsive
+        def _record(fut: asyncio.Future) -> None:
+            nonlocal ok
+            latencies.append(_time.perf_counter() - sent_at)
+            reply = fut.result()
+            if reply.get("ok"):
+                ok += 1
+            else:
+                code = reply.get("error", "internal")
+                error_codes[code] = error_codes.get(code, 0) + 1
+
+        future.add_done_callback(_record)
+        return future
+
+    async def sender(conn_idx: int) -> None:
+        client = clients[conn_idx]
+        tenant = tenants[conn_idx]
+        waiters = []
+        for i in range(conn_idx, len(items), connections):
+            target = t0 + i / rate
+            delay = target - _time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            item = items[i]
+            waiters.append(
+                measured(
+                    client.submit(
+                        {
+                            "op": "arrive",
+                            "id": item.uid,
+                            "tenant": tenant,
+                            "arrival": item.arrival,
+                            "departure": item.departure,
+                            "size": item.size,
+                        }
+                    ),
+                    _time.perf_counter(),
+                )
+            )
+            await client.drain_writes()
+        await asyncio.gather(*waiters)
+
+    # cyclic GC off for the measurement window: a gen-2 pause in the
+    # *generator* process stalls every in-flight request at once and
+    # shows up as a fake server p99.  (The server keeps GC on — its
+    # pauses are real service latency and should be measured.)
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    t0 = _time.perf_counter()
+    try:
+        await asyncio.gather(*(sender(j) for j in range(connections)))
+        duration = _time.perf_counter() - t0
+        server_stats = None
+        if fetch_stats:
+            server_stats = await clients[0].stats()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        for client in clients:
+            await client.aclose()
+
+    latencies.sort()
+    return LoadReport(
+        workload=workload,
+        items=len(items),
+        connections=connections,
+        offered_rps=rate,
+        duration_s=duration,
+        ok=ok,
+        errors=sum(error_codes.values()),
+        error_codes=error_codes,
+        p50_ms=1e3 * _percentile(latencies, 0.50),
+        p90_ms=1e3 * _percentile(latencies, 0.90),
+        p99_ms=1e3 * _percentile(latencies, 0.99),
+        max_ms=1e3 * (latencies[-1] if latencies else 0.0),
+        server_stats=server_stats,
+    )

@@ -1,0 +1,267 @@
+"""The wire protocol of the placement service: JSONL over TCP, v1.
+
+One request per line, one JSON object per request; one JSON object per
+reply.  The protocol is deliberately boring — newline-delimited JSON is
+greppable, replayable with ``nc``, and needs no dependency — and
+deliberately strict: every malformed line gets a **structured error
+reply** (``{"ok": false, "error": "<code>", ...}``) and the connection
+stays open.  A bad client can never crash a server, and a good client
+can always tell *why* a request was refused.
+
+Requests
+--------
+::
+
+    {"op": "arrive", "id": 7, "arrival": 0.0, "departure": 4.0,
+     "size": 0.5, "tenant": "acme", "seq": 1}
+    {"op": "depart", "id": 7, "time": 3.0}      # adaptive items only
+    {"op": "advance", "time": 10.0}             # move every shard's clock
+    {"op": "stats"}                             # service-wide snapshot
+    {"op": "ping"}
+
+``seq`` is an optional client-chosen correlation token echoed verbatim
+in the reply; pipelined clients need it because replies from different
+shards may interleave.  ``tenant`` (falling back to ``id``) is the
+consistent-hash **routing key** — requests sharing a key always land on
+the same shard, which is what keeps per-shard decision streams
+deterministic.  ``v`` optionally pins the protocol version.
+
+Replies
+-------
+Successful placement::
+
+    {"ok": true, "op": "arrive", "seq": 1, "id": 7, "bin": 3,
+     "opened": false, "shard": 0, "latency_us": 38.4}
+
+Errors carry a machine-readable code (see :data:`ERROR_CODES`) plus a
+human message; ``overloaded`` replies additionally carry
+``retry_after`` (seconds), the service's explicit backpressure signal::
+
+    {"ok": false, "error": "overloaded", "retry_after": 0.05, "seq": 1}
+
+Timestamps are the *paper's* logical clock (the ``arrival``/
+``departure`` coordinates of the trace), not wall time; the kernel
+advances when requests say so, exactly as in the batch simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.errors import InvalidItemError
+from ..core.item import Item
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ERROR_CODES",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "ok_reply",
+    "error_reply",
+    "encode",
+    "decode",
+]
+
+#: bumped on incompatible request/reply schema changes
+PROTOCOL_VERSION = 1
+
+#: operations a client may request
+OPS = ("arrive", "depart", "advance", "stats", "ping")
+
+#: machine-readable error codes a reply's ``error`` field may carry
+ERROR_CODES = (
+    "bad-json",      # line is not a JSON object
+    "bad-version",   # client pinned an unsupported protocol version
+    "bad-request",   # missing/mistyped field, unknown op
+    "bad-item",      # arrive payload violates item semantics
+    "out-of-order",  # arrival/advance behind the shard's clock
+    "unknown-item",  # depart for an id this shard does not hold
+    "duplicate-id",  # adaptive arrive reusing a live id
+    "overloaded",    # shard queue full — back off and retry
+    "draining",      # server is shutting down, no new work
+    "internal",      # unexpected server-side failure
+)
+
+
+class ProtocolError(Exception):
+    """A request that must be answered with a structured error reply."""
+
+    def __init__(self, code: str, message: str, *, seq=None, **fields):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.seq = seq
+        self.fields = fields
+
+    def reply(self) -> dict:
+        return error_reply(
+            self.code, self.message, seq=self.seq, **self.fields
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One validated client request (the parsed form of a wire line)."""
+
+    op: str
+    seq: Optional[Union[int, str]] = None
+    id: Optional[str] = None
+    tenant: Optional[str] = None
+    arrival: Optional[float] = None
+    departure: Optional[float] = None
+    size: Optional[float] = None
+    time: Optional[float] = None
+
+    @property
+    def routing_key(self) -> str:
+        """Consistent-hash key: the tenant when given, else the item id."""
+        return self.tenant if self.tenant is not None else (self.id or "")
+
+    def to_item(self, uid: int) -> Item:
+        """The kernel :class:`Item` this arrive request describes."""
+        return Item(self.arrival, self.departure, self.size, uid=uid)
+
+
+def _number(obj: dict, field: str, seq, *, required: bool = True):
+    value = obj.get(field)
+    if value is None:
+        if required:
+            raise ProtocolError(
+                "bad-request", f"missing field {field!r}", seq=seq
+            )
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            "bad-request",
+            f"field {field!r} must be a number, got {value!r}",
+            seq=seq,
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(
+            "bad-request", f"field {field!r} must be finite", seq=seq
+        )
+    return value
+
+
+def _ident(obj: dict, field: str, seq, *, required: bool):
+    value = obj.get(field)
+    if value is None:
+        if required:
+            raise ProtocolError(
+                "bad-request", f"missing field {field!r}", seq=seq
+            )
+        return None
+    if not isinstance(value, (str, int)):
+        raise ProtocolError(
+            "bad-request",
+            f"field {field!r} must be a string or integer, got {value!r}",
+            seq=seq,
+        )
+    return str(value)
+
+
+def parse_request(line: Union[str, bytes]) -> Request:
+    """Validate one wire line into a :class:`Request`.
+
+    Raises :class:`ProtocolError` — never a raw ``json`` or item
+    exception — so the server can always turn a bad line into a reply
+    instead of a dropped connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("bad-json", f"not UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad-json", f"not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "bad-json", f"expected a JSON object, got {type(obj).__name__}"
+        )
+    seq = obj.get("seq")
+    if seq is not None and not isinstance(seq, (int, str)):
+        raise ProtocolError(
+            "bad-request", f"field 'seq' must be int or string, got {seq!r}"
+        )
+    version = obj.get("v")
+    if version is not None and version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-version",
+            f"protocol v{version!r} unsupported (server speaks "
+            f"v{PROTOCOL_VERSION})",
+            seq=seq,
+        )
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "bad-request", f"unknown op {op!r} (expected one of {OPS})",
+            seq=seq,
+        )
+    tenant = _ident(obj, "tenant", seq, required=False)
+    if op == "arrive":
+        req = Request(
+            op=op,
+            seq=seq,
+            id=_ident(obj, "id", seq, required=True),
+            tenant=tenant,
+            arrival=_number(obj, "arrival", seq),
+            departure=_number(obj, "departure", seq, required=False),
+            size=_number(obj, "size", seq),
+        )
+        try:  # full item semantics (size in (0,1], departure > arrival, …)
+            req.to_item(0)
+        except InvalidItemError as exc:
+            raise ProtocolError("bad-item", str(exc), seq=seq) from exc
+        return req
+    if op == "depart":
+        return Request(
+            op=op,
+            seq=seq,
+            id=_ident(obj, "id", seq, required=True),
+            tenant=tenant,
+            time=_number(obj, "time", seq),
+        )
+    if op == "advance":
+        return Request(op=op, seq=seq, time=_number(obj, "time", seq))
+    return Request(op=op, seq=seq)  # stats / ping
+
+
+def ok_reply(op: str, *, seq=None, **fields) -> dict:
+    """A successful reply envelope (``seq`` echoed only when present)."""
+    reply = {"ok": True, "op": op}
+    if seq is not None:
+        reply["seq"] = seq
+    reply.update(fields)
+    return reply
+
+
+def error_reply(code: str, message: str, *, seq=None, **fields) -> dict:
+    """A structured error reply (``code`` must be in :data:`ERROR_CODES`)."""
+    reply = {"ok": False, "error": code, "message": message}
+    if seq is not None:
+        reply["seq"] = seq
+    reply.update(fields)
+    return reply
+
+
+def encode(obj: dict) -> bytes:
+    """One reply/request as a wire line (compact JSON + newline)."""
+    return (
+        json.dumps(obj, separators=(",", ":"), default=float) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: Union[str, bytes]) -> dict:
+    """Parse one reply line into a dict (client-side counterpart)."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError(f"expected a JSON object reply, got {obj!r}")
+    return obj

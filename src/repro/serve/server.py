@@ -1,0 +1,492 @@
+"""The placement daemon: asyncio JSONL-over-TCP server over sharded kernels.
+
+Request path
+------------
+``connection reader → parse → consistent-hash route → per-shard
+micro-batcher → bounded shard queue → shard worker (kernel) → reply``
+
+Every stage is explicit about overload and failure:
+
+- a malformed line produces a structured error reply on the same
+  connection (the reader never raises out of a bad line);
+- a **full shard queue** produces an immediate
+  ``{"error": "overloaded", "retry_after": ...}`` reply instead of
+  unbounded buffering — the client is told to back off, the server's
+  memory stays bounded by ``shards × max_queue × batch_max`` requests;
+- a **draining** server refuses new work with ``{"error": "draining"}``
+  while still answering ``stats``/``ping``.
+
+Replies are written by one writer coroutine per connection and carry the
+request's ``seq``, so pipelined clients see interleaved (cross-shard)
+replies and can still correlate them.
+
+Lifecycle
+---------
+:meth:`PlacementServer.run` serves until SIGTERM/SIGINT, then
+**drains**: stop accepting, flush every micro-batcher, let each shard
+work its queue dry, write one v2 checkpoint per shard (restartable with
+``resume=True`` / ``repro-dbp serve --resume``), emit one ledger
+:class:`~repro.obs.ledger.RunRecord` for the session, and close
+connections.  A drain after ``k`` accepted arrivals loses none of them:
+the checkpoints carry the kernels mid-stream, open bins and all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import signal
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..engine.metrics import EngineMetrics
+from ..obs.metrics import LATENCY_EDGES, Histogram
+from .batcher import MicroBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from .shard import HashRing, PlacementShard
+
+__all__ = ["ServeConfig", "PlacementServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything a placement server needs to come up."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = pick a free port (read it back from ``.port``)
+    shards: int = 1
+    algorithm: str = "HybridAlgorithm"
+    capacity: float = 1.0
+    indexed: bool = True
+    max_queue: int = 1024  #: per-shard queue bound, in micro-batches
+    batch_max: int = 1  #: micro-batch size (1 = batching off)
+    batch_delay: float = 0.0  #: micro-batch age bound, seconds (0 = off)
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None
+    resume: bool = False  #: restore shards from ``checkpoint_dir``
+    metrics: bool = True  #: per-shard EngineMetrics (merged in stats)
+    ledger_dir: Optional[Union[str, pathlib.Path]] = None  #: None = no ledger
+    generator: str = "live"  #: workload identity stamped on ledger records
+
+    def shard_checkpoint(self, shard_id: int) -> pathlib.Path:
+        if self.checkpoint_dir is None:
+            raise ValueError("no checkpoint_dir configured")
+        return pathlib.Path(self.checkpoint_dir) / f"shard-{shard_id}.ckpt"
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Book-keeping for one client connection."""
+
+    writer: asyncio.StreamWriter
+    out: asyncio.Queue = field(default_factory=asyncio.Queue)
+    pending: set = field(default_factory=set)
+
+
+class PlacementServer:
+    """The asyncio placement service (see module docstring).
+
+    Construct with a :class:`ServeConfig`, then either ``await start()``
+    and drive it from tests (``await drain()`` when done), or call
+    :meth:`run` to serve until a termination signal.
+    """
+
+    def __init__(self, config: ServeConfig, *, registry=None) -> None:
+        self.config = config
+        if registry is None:
+            from ..parallel import _registry
+
+            registry = _registry()
+        if config.algorithm not in registry:
+            raise ValueError(
+                f"unknown algorithm {config.algorithm!r}; options: "
+                + ", ".join(sorted(registry))
+            )
+        self._algorithm_factory = registry[config.algorithm]
+        self.shards: List[PlacementShard] = []
+        self.ring = HashRing(config.shards)
+        self.batchers: List[MicroBatcher] = []
+        self.requests = 0  #: wire lines parsed into requests
+        self.errors = 0  #: error replies sent (any code)
+        self.error_codes: Dict[str, int] = {}
+        self.draining = False
+        self.drained = asyncio.Event()
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[_Connection] = set()
+        self._drain_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _build_shards(self) -> None:
+        cfg = self.config
+        for k in range(cfg.shards):
+            ckpt = (
+                cfg.shard_checkpoint(k)
+                if cfg.resume and cfg.checkpoint_dir is not None
+                else None
+            )
+            if ckpt is not None and ckpt.exists():
+                shard = PlacementShard.restore(
+                    k, ckpt, max_queue=cfg.max_queue, metrics=cfg.metrics
+                )
+            else:
+                shard = PlacementShard(
+                    k,
+                    self._algorithm_factory(),
+                    capacity=cfg.capacity,
+                    indexed=cfg.indexed,
+                    max_queue=cfg.max_queue,
+                    metrics=cfg.metrics,
+                )
+            self.shards.append(shard)
+            self.batchers.append(
+                MicroBatcher(
+                    self._make_sink(shard),
+                    max_batch=cfg.batch_max,
+                    max_delay=cfg.batch_delay,
+                )
+            )
+
+    def _make_sink(self, shard: PlacementShard):
+        async def sink(batch: list) -> None:
+            # simultaneous arrivals: stable sort by arrival inside the
+            # micro-batch mirrors Instance order (ties keep submit order)
+            batch.sort(key=lambda job: job[0].arrival)
+            await shard.queue.put(batch)
+
+        return sink
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the shard workers."""
+        if not self.shards:
+            self._build_shards()
+        for shard in self.shards:
+            shard.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.started_at = _time.perf_counter()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def run(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain — the CLI entry point."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await self.drained.wait()
+
+    def _request_drain(self) -> None:
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: flush, work queues dry, checkpoint, ledger."""
+        if self.draining:
+            await self.drained.wait()
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for batcher in self.batchers:
+            await batcher.aclose()
+        for shard in self.shards:
+            await shard.queue.join()
+        for shard in self.shards:
+            await shard.stop()
+        if self.config.checkpoint_dir is not None:
+            pathlib.Path(self.config.checkpoint_dir).mkdir(
+                parents=True, exist_ok=True
+            )
+            for shard in self.shards:
+                shard.checkpoint(
+                    self.config.shard_checkpoint(shard.shard_id)
+                )
+        if self.config.ledger_dir is not None:
+            self._write_ledger()
+        for conn in list(self._connections):
+            conn.out.put_nowait(None)  # writer sentinel → close
+        self.drained.set()
+
+    def _write_ledger(self) -> None:
+        from ..obs.ledger import LedgerSink
+
+        cfg = self.config
+        wall = (
+            _time.perf_counter() - self.started_at
+            if self.started_at is not None
+            else None
+        )
+        sink = LedgerSink(
+            kind="serve",
+            algorithm=cfg.algorithm,
+            generator=cfg.generator,
+            config={
+                "shards": cfg.shards,
+                "capacity": cfg.capacity,
+                "indexed": cfg.indexed,
+                "batch_max": cfg.batch_max,
+                "batch_delay": cfg.batch_delay,
+                "max_queue": cfg.max_queue,
+                "resumed": cfg.resume,
+            },
+            ledger_dir=cfg.ledger_dir,
+            wall_s=wall,
+        )
+        sink.emit(self._metrics_snapshot())
+        self.ledger_path = sink.last_path
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer=writer)
+        self._connections.add(conn)
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_replies(conn)
+        )
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # oversized line or reset: answer if we can, then close
+                    conn.out.put_nowait(
+                        error_reply("bad-request", "line too long")
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._dispatch(line, conn)
+        finally:
+            if conn.pending:
+                await asyncio.gather(*conn.pending, return_exceptions=True)
+            conn.out.put_nowait(None)
+            await writer_task
+            self._connections.discard(conn)
+
+    async def _write_replies(self, conn: _Connection) -> None:
+        writer = conn.writer
+        done = False
+        try:
+            while not done:
+                # coalesce: everything queued right now goes out in one
+                # write + one drain, not one syscall round-trip per reply
+                reply = await conn.out.get()
+                chunks = []
+                while reply is not None:
+                    chunks.append(encode(reply))
+                    try:
+                        reply = conn.out.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    done = True
+                if chunks:
+                    writer.write(b"".join(chunks))
+                    await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # peer went away mid-write; nothing left to tell it
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop shutdown race
+                pass
+
+    async def _dispatch(self, line: bytes, conn: _Connection) -> None:
+        t_recv = _time.perf_counter()
+        try:
+            req = parse_request(line)
+        except ProtocolError as exc:
+            self._count_error(exc.code)
+            conn.out.put_nowait(exc.reply())
+            return
+        self.requests += 1
+        if req.op == "ping":
+            conn.out.put_nowait(
+                ok_reply("ping", seq=req.seq, v=PROTOCOL_VERSION)
+            )
+            return
+        if req.op == "stats":
+            conn.out.put_nowait(self._stats_reply(req))
+            return
+        if self.draining:
+            self._count_error("draining")
+            conn.out.put_nowait(
+                error_reply(
+                    "draining", "server is draining; no new work",
+                    seq=req.seq,
+                )
+            )
+            return
+        if req.op == "advance":
+            await self._broadcast_advance(req, conn)
+            return
+        shard_id = self.ring.shard_for(req.routing_key)
+        shard = self.shards[shard_id]
+        if shard.queue.full():
+            self._count_error("overloaded")
+            conn.out.put_nowait(
+                error_reply(
+                    "overloaded",
+                    f"shard {shard_id} queue is full",
+                    seq=req.seq,
+                    retry_after=self._retry_after(shard),
+                )
+            )
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._track(future, conn)
+        if req.op == "depart":
+            # ordering: a depart must see every arrival submitted before
+            # it, so the shard's pending micro-batch flushes first
+            await self.batchers[shard_id].flush()
+            await shard.queue.put([(req, future, t_recv)])
+        else:
+            await self.batchers[shard_id].add((req, future, t_recv))
+
+    def _track(self, future: asyncio.Future, conn: _Connection) -> None:
+        conn.pending.add(future)
+
+        def _done(fut: asyncio.Future) -> None:
+            conn.pending.discard(fut)
+            reply = fut.result()
+            if reply.get("ok") is False:
+                self._count_error(reply.get("error", "internal"))
+            conn.out.put_nowait(reply)
+
+        future.add_done_callback(_done)
+
+    async def _broadcast_advance(
+        self, req: Request, conn: _Connection
+    ) -> None:
+        """Advance every shard's clock; reply once all have moved."""
+        futures = []
+        for shard_id, shard in enumerate(self.shards):
+            await self.batchers[shard_id].flush()
+            fut = asyncio.get_running_loop().create_future()
+            futures.append(fut)
+            await shard.queue.put(
+                [(Request(op="advance", seq=req.seq, time=req.time),
+                  fut, None)]
+            )
+        replies = await asyncio.gather(*futures)
+        bad = next((r for r in replies if not r.get("ok")), None)
+        if bad is not None:
+            self._count_error(bad.get("error", "internal"))
+            conn.out.put_nowait(bad)
+        else:
+            conn.out.put_nowait(
+                ok_reply("advance", seq=req.seq, time=req.time,
+                         shards=len(self.shards))
+            )
+
+    def _retry_after(self, shard: PlacementShard) -> float:
+        # one batch window plus a pessimistic per-queued-batch estimate
+        return round(
+            self.config.batch_delay + 0.002 * (shard.queue.qsize() + 1), 4
+        )
+
+    def _count_error(self, code: str) -> None:
+        self.errors += 1
+        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Stats / metrics
+    # ------------------------------------------------------------------ #
+    def merged_metrics(self) -> Optional[EngineMetrics]:
+        """One fleet-wide :class:`EngineMetrics` (None when disabled)."""
+        registries = [
+            s.engine.metrics for s in self.shards
+            if s.engine.metrics is not None
+        ]
+        if not registries:
+            return None
+        merged = EngineMetrics()
+        for registry in registries:
+            merged.merge(registry)
+        return merged
+
+    def merged_request_latency(self) -> Histogram:
+        merged = Histogram(LATENCY_EDGES)
+        for shard in self.shards:
+            merged.merge(shard.request_latency)
+        return merged
+
+    def totals(self) -> dict:
+        per_shard = [s.stats() for s in self.shards]
+        times = [s["time"] for s in per_shard if s["time"] is not None]
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_codes": dict(sorted(self.error_codes.items())),
+            "accepted": sum(s["accepted"] for s in per_shard),
+            "rejected": sum(s["rejected"] for s in per_shard),
+            "items": sum(s["items"] for s in per_shard),
+            "departures": sum(s["departures"] for s in per_shard),
+            "open_bins": sum(s["open_bins"] for s in per_shard),
+            "bins_opened": sum(s["bins_opened"] for s in per_shard),
+            "max_open": sum(s["max_open"] for s in per_shard),
+            "cost": sum(s["cost"] for s in per_shard),
+            "time": max(times) if times else None,
+        }
+
+    def _stats_reply(self, req: Request) -> dict:
+        return ok_reply(
+            "stats",
+            seq=req.seq,
+            v=PROTOCOL_VERSION,
+            algorithm=self.config.algorithm,
+            shards=len(self.shards),
+            draining=self.draining,
+            totals=self.totals(),
+            per_shard=[s.stats() for s in self.shards],
+            request_latency=self.merged_request_latency().to_dict(),
+        )
+
+    def _metrics_snapshot(self) -> dict:
+        merged = self.merged_metrics()
+        snap = merged.snapshot() if merged is not None else {}
+        snap.setdefault("timings", {})["request_latency"] = (
+            self.merged_request_latency().to_dict()
+        )
+        snap["service"] = self.totals()
+        return snap
+
+    def __repr__(self) -> str:
+        state = (
+            "draining" if self.draining
+            else "serving" if self._server is not None
+            else "new"
+        )
+        return (
+            f"PlacementServer({self.config.algorithm!r}, "
+            f"shards={self.config.shards}, {state}, "
+            f"requests={self.requests})"
+        )

@@ -1,0 +1,359 @@
+"""Worker shards: one placement kernel per shard, consistent-hash routed.
+
+A :class:`PlacementShard` owns one streaming
+:class:`~repro.engine.loop.Engine` (and therefore one
+:class:`~repro.core.kernel.PlacementKernel` + algorithm instance) behind
+a bounded :class:`asyncio.Queue`.  A single worker coroutine drains the
+queue, so every shard processes its requests **strictly in enqueue
+order** — the property that makes per-shard decision streams
+deterministic and lets the parity harness compare a single-shard server
+bit-for-bit against batch ``simulate()``.
+
+Routing uses a **consistent-hash ring** (:class:`HashRing`) over the
+request's routing key (tenant, falling back to item id), built on
+SHA-256 rather than Python's per-process-salted ``hash()`` so placement
+of keys onto shards is stable across runs and machines.  Requests
+sharing a key always reach the same shard; a key's sub-stream is
+therefore processed in submission order.
+
+Checkpointing writes the engine's **v2 checkpoint**
+(:mod:`repro.engine.checkpoint` — the joint kernel+algorithm pickle)
+plus a small JSON sidecar holding the shard's service-level state (the
+live adaptive-item id map).  :meth:`PlacementShard.restore` rebuilds a
+shard that continues the decision stream exactly where the snapshot
+left off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import pathlib
+import time as _time
+from bisect import bisect_right
+from typing import List, Optional, Tuple, Union
+
+from ..core.errors import ClairvoyanceError, PackingError, SimulationError
+from ..engine.checkpoint import load_checkpoint, save_checkpoint
+from ..engine.loop import Engine
+from ..engine.metrics import EngineMetrics
+from ..obs.metrics import LATENCY_EDGES, Histogram
+from .protocol import Request, error_reply, ok_reply
+
+__all__ = ["HashRing", "PlacementShard", "stable_hash"]
+
+#: sentinel that stops a shard worker (queue-ordered, after pending work)
+_STOP = object()
+
+
+def stable_hash(key: str) -> int:
+    """A 64-bit process-independent hash (SHA-256 prefix) of ``key``."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of routing keys onto ``n_shards`` shards.
+
+    Each shard owns ``replicas`` pseudo-random points on a 64-bit ring;
+    a key maps to the shard owning the first point clockwise from the
+    key's hash.  Deterministic for a given ``(n_shards, replicas)`` —
+    the same key always routes to the same shard, across processes and
+    machines.
+    """
+
+    def __init__(self, n_shards: int, *, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((stable_hash(f"shard{shard}:{replica}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (O(log(shards·replicas)))."""
+        if self.n_shards == 1:
+            return 0
+        i = bisect_right(self._hashes, stable_hash(key))
+        if i == len(self._hashes):
+            i = 0
+        return self._shards[i]
+
+
+class PlacementShard:
+    """One kernel-owning worker: a queue in, placement decisions out.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the server's shard list.
+    algorithm:
+        A fresh algorithm instance (one per shard — shards never share
+        state).
+    capacity, indexed:
+        Forwarded to the :class:`~repro.engine.loop.Engine`.
+    max_queue:
+        Bound of the work queue, in *jobs* (a job is a micro-batch).
+        When the queue is full the server answers ``overloaded`` instead
+        of buffering — explicit backpressure, never unbounded memory.
+    metrics:
+        Attach an :class:`~repro.engine.metrics.EngineMetrics` (kernel
+        latency/residual/occupancy histograms; mergeable across shards).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        algorithm,
+        *,
+        capacity: float = 1.0,
+        indexed: bool = True,
+        max_queue: int = 1024,
+        metrics: bool = True,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        if engine is not None:
+            self.engine = engine
+            if metrics and engine.metrics is None:
+                engine.metrics = EngineMetrics()
+        else:
+            self.engine = Engine(
+                algorithm,
+                capacity=capacity,
+                indexed=indexed,
+                metrics=EngineMetrics() if metrics else None,
+            )
+        self.queue: asyncio.Queue = asyncio.Queue(max_queue)
+        #: wall-clock receive→reply latency of requests this shard served
+        self.request_latency = Histogram(LATENCY_EDGES)
+        self.accepted = 0  # arrive requests committed into the kernel
+        self.rejected = 0  # requests answered with a structured error
+        self._adaptive_uids: dict[str, int] = {}  # live unknown-departure ids
+        self._task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the worker coroutine (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._worker(), name=f"shard-{self.shard_id}"
+            )
+
+    async def stop(self) -> None:
+        """Process everything already queued, then stop the worker."""
+        if self._task is None:
+            return
+        await self.queue.put(_STOP)
+        await self._task
+        self._task = None
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.get()
+            try:
+                if job is _STOP:
+                    return
+                for req, future, t_recv in job:
+                    reply = self.apply(req)
+                    if t_recv is not None:
+                        reply.setdefault("shard", self.shard_id)
+                        self.request_latency.observe(
+                            _time.perf_counter() - t_recv
+                        )
+                    if not future.done():
+                        future.set_result(reply)
+            finally:
+                self.queue.task_done()
+
+    # ------------------------------------------------------------------ #
+    # Request execution (synchronous — the kernel is pure computation)
+    # ------------------------------------------------------------------ #
+    def apply(self, req: Request) -> dict:
+        """Execute one request against the kernel; always returns a reply."""
+        try:
+            if req.op == "arrive":
+                return self._arrive(req)
+            if req.op == "depart":
+                return self._depart(req)
+            if req.op == "advance":
+                return self._advance(req)
+            raise PackingError(f"op {req.op!r} is not a shard op")
+        except Exception as exc:  # a bad request must never kill the worker
+            self.rejected += 1
+            return error_reply("internal", f"{type(exc).__name__}: {exc}",
+                               seq=req.seq, shard=self.shard_id)
+
+    def _arrive(self, req: Request) -> dict:
+        if req.departure is None and req.id in self._adaptive_uids:
+            self.rejected += 1
+            return error_reply(
+                "duplicate-id",
+                f"adaptive item id {req.id!r} is still active on this shard",
+                seq=req.seq, id=req.id, shard=self.shard_id,
+            )
+        uid = self.engine.accounting.arrivals  # sequential per shard
+        item = req.to_item(uid)
+        t0 = _time.perf_counter()
+        try:
+            bin_ = self.engine.feed(item)
+        except ClairvoyanceError as exc:
+            # an adaptive item needs a non-clairvoyant algorithm — a
+            # client mistake, not a server fault
+            self.rejected += 1
+            return error_reply(
+                "bad-item", str(exc),
+                seq=req.seq, id=req.id, shard=self.shard_id,
+            )
+        except SimulationError as exc:
+            self.rejected += 1
+            return error_reply(
+                "out-of-order", str(exc),
+                seq=req.seq, id=req.id, shard=self.shard_id,
+                clock=self._clock(),
+            )
+        if req.departure is None:
+            self._adaptive_uids[req.id] = uid
+        self.accepted += 1
+        return ok_reply(
+            "arrive",
+            seq=req.seq,
+            id=req.id,
+            bin=bin_.uid,
+            opened=self.engine._last_opened,
+            shard=self.shard_id,
+            latency_us=round(1e6 * (_time.perf_counter() - t0), 3),
+        )
+
+    def _depart(self, req: Request) -> dict:
+        uid = self._adaptive_uids.get(req.id)
+        if uid is None:
+            self.rejected += 1
+            return error_reply(
+                "unknown-item",
+                f"no live adaptive item with id {req.id!r} on this shard "
+                "(scheduled departures happen automatically)",
+                seq=req.seq, id=req.id, shard=self.shard_id,
+            )
+        try:
+            self.engine.depart(uid, req.time)
+        except (SimulationError, PackingError) as exc:
+            self.rejected += 1
+            return error_reply(
+                "out-of-order", str(exc),
+                seq=req.seq, id=req.id, shard=self.shard_id,
+                clock=self._clock(),
+            )
+        del self._adaptive_uids[req.id]
+        return ok_reply("depart", seq=req.seq, id=req.id,
+                        shard=self.shard_id)
+
+    def _advance(self, req: Request) -> dict:
+        try:
+            self.engine.advance_to(req.time)
+        except SimulationError as exc:
+            self.rejected += 1
+            return error_reply(
+                "out-of-order", str(exc),
+                seq=req.seq, shard=self.shard_id, clock=self._clock(),
+            )
+        return ok_reply("advance", seq=req.seq, shard=self.shard_id,
+                        time=req.time)
+
+    def _clock(self) -> Optional[float]:
+        import math
+
+        t = self.engine.time
+        return t if math.isfinite(t) else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection (safe between event-loop steps: one thread, no locks)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        acc = self.engine.accounting
+        return {
+            "shard": self.shard_id,
+            "items": acc.arrivals,
+            "departures": acc.departures,
+            "open_bins": self.engine.open_bin_count,
+            "bins_opened": acc.bins_opened,
+            "max_open": acc.max_open,
+            "cost": acc.cost_at(self.engine.time),
+            "time": self._clock(),
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "live_adaptive": len(self._adaptive_uids),
+            "queue_depth": self.queue.qsize(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore (v2 engine checkpoint + service sidecar)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Snapshot this shard to ``path`` (+ ``<path>.meta.json``)."""
+        path = pathlib.Path(path)
+        save_checkpoint(self.engine, path)
+        meta = {
+            "shard": self.shard_id,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "adaptive_uids": self._adaptive_uids,
+        }
+        path.with_suffix(path.suffix + ".meta.json").write_text(
+            json.dumps(meta, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        shard_id: int,
+        path: Union[str, pathlib.Path],
+        *,
+        max_queue: int = 1024,
+        metrics: bool = True,
+    ) -> "PlacementShard":
+        """Rebuild a shard from :meth:`checkpoint` output.
+
+        The engine (kernel + algorithm, mid-stream) comes from the v2
+        checkpoint; the adaptive-id map and accept/reject counters come
+        from the sidecar.  The restored shard's decision stream
+        continues bit-for-bit from where the snapshot was taken.
+        """
+        path = pathlib.Path(path)
+        engine = load_checkpoint(path)
+        shard = cls(
+            shard_id,
+            None,
+            engine=engine,
+            max_queue=max_queue,
+            metrics=metrics,
+        )
+        meta_path = path.with_suffix(path.suffix + ".meta.json")
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            shard.accepted = int(meta.get("accepted", 0))
+            shard.rejected = int(meta.get("rejected", 0))
+            shard._adaptive_uids = {
+                str(k): int(v)
+                for k, v in (meta.get("adaptive_uids") or {}).items()
+            }
+        else:
+            shard.accepted = engine.accounting.arrivals
+        return shard
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacementShard(id={self.shard_id}, items="
+            f"{self.engine.accounting.arrivals}, "
+            f"open={self.engine.open_bin_count}, "
+            f"queue={self.queue.qsize()})"
+        )

@@ -30,7 +30,7 @@ import json
 import pathlib
 from typing import Iterator, Union
 
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InvalidInstanceError, InvalidItemError
 from ..core.instance import Instance
 from ..core.item import Item
 
@@ -77,9 +77,11 @@ def loads_csv(text: str) -> Instance:
                 f"line {lineno}: expected 3 columns, got {len(row)}"
             )
         try:
-            triples.append((float(row[0]), float(row[1]), float(row[2])))
-        except ValueError as exc:
+            triple = (float(row[0]), float(row[1]), float(row[2]))
+            Item(*triple, uid=0)  # validate here, where the line is known
+        except ValueError as exc:  # includes InvalidItemError
             raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
+        triples.append(triple)
     return Instance.from_tuples(triples)
 
 
@@ -117,7 +119,10 @@ def _obj_to_item(obj: dict, lineno: int, uid: int) -> Item:
         raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
     if departure is not None:
         departure = float(departure)
-    return Item(arrival, departure, size, uid=uid)
+    try:
+        return Item(arrival, departure, size, uid=uid)
+    except InvalidItemError as exc:
+        raise InvalidInstanceError(f"line {lineno}: {exc}") from exc
 
 
 def dumps_jsonl(instance: Instance) -> str:

@@ -1,0 +1,147 @@
+"""`repro-dbp serve` / `loadgen` as real subprocesses: full lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def env():
+    e = dict(os.environ)
+    e["PYTHONPATH"] = str(REPO / "src")
+    return e
+
+
+def start_server(*extra: str) -> "tuple[subprocess.Popen, int, str]":
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env(),
+        text=True,
+    )
+    line = proc.stdout.readline()  # blocks until the server announces itself
+    match = re.search(r" on [\w.]+:(\d+) ", line)
+    if not match:  # pragma: no cover - startup failure diagnostics
+        proc.kill()
+        raise AssertionError(
+            f"no port in banner {line!r}; stderr: {proc.stderr.read()}"
+        )
+    return proc, int(match.group(1)), line
+
+
+def stop_server(proc: subprocess.Popen) -> str:
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=20)
+    assert proc.returncode == 0, err
+    return out
+
+
+def rpc(port: int, obj: dict) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(json.dumps(obj).encode() + b"\n")
+        stream.flush()
+        return json.loads(stream.readline())
+
+
+def loadgen(port: int, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "loadgen",
+         "--port", str(port), *extra],
+        capture_output=True,
+        env=env(),
+        text=True,
+        timeout=60,
+    )
+
+
+class TestServeLifecycle:
+    def test_serve_loadgen_drain(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        proc, port, banner = start_server(
+            "--shards", "2", "-a", "FirstFit",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        )
+        try:
+            assert "FirstFit" in banner and "2 shard(s)" in banner
+            result = loadgen(
+                port, "-n", "300", "--rate", "20000",
+                "--connections", "2", "--json", str(report_path),
+            )
+            assert result.returncode == 0, result.stderr
+            assert "300 requests" in result.stdout
+            report = json.loads(report_path.read_text())
+            assert report["ok"] == 300 and report["errors"] == 0
+            assert report["server_stats"]["totals"]["accepted"] == 300
+        finally:
+            out = stop_server(proc)
+        assert "drained:" in out
+        assert "302 requests" in out  # 300 arrivals + stats probe ×2
+        for shard in (0, 1):
+            ckpt = tmp_path / "ckpt" / f"shard-{shard}.ckpt"
+            assert ckpt.exists()
+            assert ckpt.with_suffix(".ckpt.meta.json").exists()
+
+    def test_resume_restores_every_accepted_item(self, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpt")
+        proc, port, _ = start_server(
+            "-a", "FirstFit", "--checkpoint-dir", ckpt_dir,
+        )
+        try:
+            result = loadgen(port, "-n", "100", "--rate", "20000")
+            assert result.returncode == 0, result.stderr
+        finally:
+            stop_server(proc)
+
+        proc, port, banner = start_server(
+            "-a", "FirstFit", "--checkpoint-dir", ckpt_dir, "--resume",
+        )
+        try:
+            assert "resumed 1 from checkpoint" in banner
+            stats = rpc(port, {"op": "stats"})
+            assert stats["totals"]["items"] == 100
+            assert stats["totals"]["accepted"] == 100
+            # the restored kernel keeps serving from where it stopped
+            reply = rpc(port, {"op": "ping"})
+            assert reply["ok"]
+        finally:
+            stop_server(proc)
+
+    def test_unknown_algorithm_fails_fast(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "-a", "Sorter"],
+            capture_output=True, env=env(), text=True, timeout=60,
+        )
+        assert result.returncode == 1
+        assert "unknown algorithm" in result.stderr
+
+
+class TestLoadgenCli:
+    def test_list_workloads(self):
+        result = loadgen(0, "--list-workloads")
+        assert result.returncode == 0
+        listed = result.stdout.split()
+        assert "uniform" in listed and "poisson" in listed
+
+    def test_unknown_workload(self):
+        result = loadgen(0, "-w", "nope")
+        assert result.returncode == 1
+        assert "unknown workload" in result.stderr
+
+    def test_connection_refused_is_reported(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        result = loadgen(free_port, "-n", "5")
+        assert result.returncode == 1
+        assert "loadgen:" in result.stderr

@@ -1,0 +1,149 @@
+"""Load generator: shard-affine routing, workloads, percentiles, reports."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import PlacementServer, ServeConfig
+from repro.serve.loadgen import (
+    WORKLOADS,
+    LoadReport,
+    _percentile,
+    make_workload,
+    run_loadgen,
+    shard_affine_tenants,
+)
+from repro.serve.shard import HashRing
+
+
+class TestShardAffineTenants:
+    def test_each_connection_gets_its_own_shard(self):
+        tenants = shard_affine_tenants(4, 4)
+        ring = HashRing(4)
+        assert [ring.shard_for(t) for t in tenants] == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        assert shard_affine_tenants(3, 2) == shard_affine_tenants(3, 2)
+
+    def test_single_shard_single_connection(self):
+        tenants = shard_affine_tenants(1, 1)
+        assert len(tenants) == 1
+        assert HashRing(1).shard_for(tenants[0]) == 0
+
+    def test_more_connections_than_shards_rejected(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            shard_affine_tenants(2, 3)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_registered_workloads_build_ordered_traces(self, name):
+        inst = make_workload(name, 40, seed=1)
+        items = list(inst)
+        assert len(items) == 40
+        arrivals = [it.arrival for it in items]
+        assert arrivals == sorted(arrivals)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("nope", 10)
+
+    def test_seed_changes_the_trace(self):
+        a = [it.size for it in make_workload("uniform", 50, seed=0)]
+        b = [it.size for it in make_workload("uniform", 50, seed=1)]
+        assert a != b
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_singleton(self):
+        assert _percentile([7.0], 0.5) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 100.0
+        assert _percentile(values, 0.5) == pytest.approx(50.0, abs=1.0)
+
+
+class TestLoadReport:
+    def report(self, **overrides):
+        kwargs = dict(
+            workload="uniform", items=100, connections=2,
+            offered_rps=1000.0, duration_s=0.5, ok=98, errors=2,
+            error_codes={"overloaded": 2}, p50_ms=1.0, p90_ms=2.0,
+            p99_ms=4.0, max_ms=9.0,
+        )
+        kwargs.update(overrides)
+        return LoadReport(**kwargs)
+
+    def test_achieved_rps(self):
+        assert self.report().achieved_rps == pytest.approx(200.0)
+        assert self.report(duration_s=0.0).achieved_rps == 0.0
+
+    def test_to_dict_shape(self):
+        d = self.report().to_dict()
+        assert d["achieved_rps"] == pytest.approx(200.0)
+        assert d["latency_ms"] == {"p50": 1.0, "p90": 2.0, "p99": 4.0,
+                                   "max": 9.0}
+        assert d["error_codes"] == {"overloaded": 2}
+
+    def test_render_mentions_the_essentials(self):
+        text = self.report().render()
+        assert "100 requests" in text
+        assert "98 ok, 2 errors" in text
+        assert "p99=4.000ms" in text
+
+
+class TestRunLoadgen:
+    def test_against_in_process_server(self):
+        async def main():
+            server = PlacementServer(ServeConfig(shards=2))
+            await server.start()
+            try:
+                report = await run_loadgen(
+                    "127.0.0.1", server.port,
+                    instance=make_workload("uniform", 150, seed=4),
+                    rate=20_000.0, connections=2, workload="uniform",
+                )
+            finally:
+                await server.drain()
+            return report
+
+        report = asyncio.run(main())
+        assert report.ok == 150
+        assert report.errors == 0
+        assert report.duration_s > 0
+        assert report.achieved_rps > 0
+        assert report.p50_ms <= report.p99_ms <= report.max_ms
+        assert report.server_stats["totals"]["accepted"] == 150
+
+    def test_connections_capped_by_shard_count(self):
+        async def main():
+            server = PlacementServer(ServeConfig(shards=1))
+            await server.start()
+            try:
+                with pytest.raises(ValueError, match="must not exceed"):
+                    await run_loadgen(
+                        "127.0.0.1", server.port,
+                        instance=make_workload("uniform", 10),
+                        rate=1000.0, connections=2,
+                    )
+            finally:
+                await server.drain()
+
+        asyncio.run(main())
+
+    def test_invalid_parameters(self):
+        async def main(**kwargs):
+            await run_loadgen("127.0.0.1", 1,
+                              instance=make_workload("uniform", 4), **kwargs)
+
+        with pytest.raises(ValueError, match="rate"):
+            asyncio.run(main(rate=0.0))
+        with pytest.raises(ValueError, match="connections"):
+            asyncio.run(main(connections=0))

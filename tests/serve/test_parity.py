@@ -1,0 +1,78 @@
+"""Service parity: a served trace matches batch ``simulate()`` exactly."""
+
+from __future__ import annotations
+
+from repro.engine.parity import ALIGNED_ALGORITHMS, GENERAL_ALGORITHMS
+from repro.serve.parity import (
+    ServiceParityReport,
+    check_service_parity,
+    default_service_cells,
+    service_parity_suite,
+)
+from repro.workloads import aligned_random, uniform_random
+
+
+class TestSingleCells:
+    def test_first_fit_uniform(self):
+        inst = uniform_random(120, 16.0, seed=3)
+        report = check_service_parity("FirstFit", inst, workload="uniform")
+        assert report.ok, str(report)
+        assert report.n_items == 120
+        assert report.errors == 0
+        assert report.decisions_equal and report.opened_equal
+        assert report.cost_delta == 0.0
+
+    def test_hybrid_micro_batched(self):
+        # batching must not perturb a single decision
+        inst = uniform_random(100, 16.0, seed=5)
+        report = check_service_parity(
+            "HybridAlgorithm", inst, workload="uniform",
+            batch_max=8, batch_delay=0.005,
+        )
+        assert report.ok, str(report)
+
+    def test_aligned_algorithm_on_aligned_input(self):
+        inst = aligned_random(32, 90, seed=1)
+        report = check_service_parity("CDFF", inst, workload="aligned")
+        assert report.ok, str(report)
+
+
+class TestSweep:
+    def test_default_cells_cover_the_registry(self):
+        names = {name for name, _, _ in default_service_cells(seed=0)}
+        assert set(GENERAL_ALGORITHMS) <= names
+        assert set(ALIGNED_ALGORITHMS) <= names
+
+    def test_suite_over_selected_cells(self):
+        inst = uniform_random(60, 8.0, seed=2)
+        cells = [
+            ("FirstFit", "uniform-small", inst),
+            ("NextFit", "uniform-small", inst),
+        ]
+        reports = service_parity_suite(cells)
+        assert len(reports) == 2
+        assert all(r.ok for r in reports), "\n".join(map(str, reports))
+
+
+class TestReport:
+    def test_mismatch_is_flagged(self):
+        report = ServiceParityReport(
+            algorithm="FirstFit", workload="w", n_items=10,
+            batch_cost=5.0, serve_cost=6.0,
+            max_open_batch=2, max_open_serve=2,
+            bins_opened_batch=3, bins_opened_serve=3,
+            decisions_equal=True, opened_equal=True, errors=0,
+        )
+        assert not report.ok
+        assert "MISMATCH" in str(report)
+        assert report.cost_delta == 1.0
+
+    def test_errors_spoil_parity(self):
+        report = ServiceParityReport(
+            algorithm="FirstFit", workload="w", n_items=10,
+            batch_cost=5.0, serve_cost=5.0,
+            max_open_batch=2, max_open_serve=2,
+            bins_opened_batch=3, bins_opened_serve=3,
+            decisions_equal=True, opened_equal=True, errors=1,
+        )
+        assert not report.ok

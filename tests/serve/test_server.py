@@ -1,0 +1,473 @@
+"""The placement server end-to-end: real sockets, in-process loop."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    PlacementClient,
+    PlacementServer,
+    ServeConfig,
+)
+from repro.serve.protocol import encode
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started(config: ServeConfig) -> PlacementServer:
+    server = PlacementServer(config)
+    await server.start()
+    return server
+
+
+class TestRoundTrip:
+    def test_ping_stats_arrive(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            pong = await client.ping()
+            assert pong["ok"] and pong["v"] == 1
+            reply = await client.arrive(1, arrival=0.0, departure=4.0,
+                                        size=0.5)
+            assert reply["ok"] and reply["opened"] and reply["shard"] == 0
+            stats = await client.stats()
+            assert stats["totals"]["accepted"] == 1
+            assert stats["totals"]["open_bins"] == 1
+            assert stats["algorithm"] == "HybridAlgorithm"
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_pipelined_replies_correlate_by_seq(self):
+        async def main():
+            server = await started(ServeConfig(shards=4))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            futures = [
+                client.submit(
+                    {"op": "arrive", "id": k, "tenant": f"t{k}",
+                     "arrival": 0.0, "departure": 1.0, "size": 0.5}
+                )
+                for k in range(40)
+            ]
+            await client.drain_writes()
+            replies = await asyncio.gather(*futures)
+            assert all(r["ok"] for r in replies)
+            assert [r["id"] for r in replies] == [str(k) for k in range(40)]
+            # several shards actually participated
+            assert len({r["shard"] for r in replies}) > 1
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_same_tenant_same_shard(self):
+        async def main():
+            server = await started(ServeConfig(shards=4))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            shards = set()
+            for k in range(10):
+                reply = await client.arrive(
+                    k, arrival=float(k), size=0.3, departure=k + 1.0,
+                    tenant="sticky",
+                )
+                shards.add(reply["shard"])
+            assert len(shards) == 1
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_advance_broadcasts_to_every_shard(self):
+        async def main():
+            server = await started(ServeConfig(shards=3))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(6):
+                await client.arrive(k, arrival=0.0, departure=2.0,
+                                    size=0.4, tenant=f"t{k}")
+            reply = await client.advance(5.0)
+            assert reply["ok"] and reply["shards"] == 3
+            stats = await client.stats()
+            assert stats["totals"]["open_bins"] == 0
+            assert stats["totals"]["departures"] == 6
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+
+class TestWireErrors:
+    async def raw_exchange(self, server, *lines: bytes):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        for line in lines:
+            writer.write(line)
+        await writer.drain()
+        replies = [
+            json.loads(await reader.readline()) for _ in lines if line
+        ]
+        writer.close()
+        await writer.wait_closed()
+        return replies
+
+    def test_garbage_line_gets_structured_reply_and_keeps_connection(self):
+        async def main():
+            server = await started(ServeConfig())
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"this is not json\n")
+            reply = json.loads(await reader.readline())
+            assert reply["ok"] is False and reply["error"] == "bad-json"
+            # connection still alive: a valid request works afterwards
+            writer.write(encode({"op": "ping", "seq": 2}))
+            reply = json.loads(await reader.readline())
+            assert reply["ok"] is True and reply["seq"] == 2
+            writer.close()
+            await writer.wait_closed()
+            await server.drain()
+
+        run(main())
+
+    def test_blank_lines_are_skipped(self):
+        async def main():
+            server = await started(ServeConfig())
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"\n  \n" + encode({"op": "ping", "seq": 1}))
+            reply = json.loads(await reader.readline())
+            assert reply["seq"] == 1
+            writer.close()
+            await writer.wait_closed()
+            await server.drain()
+
+        run(main())
+
+    def test_unknown_algorithm_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="Sorter"):
+            PlacementServer(ServeConfig(algorithm="Sorter"))
+
+    def test_error_codes_counted_in_totals(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.arrive(1, arrival=5.0, departure=9.0,
+                                        size=0.5)
+            assert reply["ok"]
+            reply = await client.arrive(2, arrival=1.0, departure=2.0,
+                                        size=0.5)
+            assert reply["error"] == "out-of-order"
+            stats = await client.stats()
+            assert stats["totals"]["error_codes"] == {"out-of-order": 1}
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+
+class TestBackpressure:
+    def test_full_queue_answers_overloaded_with_retry_after(self):
+        async def main():
+            server = await started(ServeConfig(max_queue=2))
+            # stall the single shard so its queue backs up
+            blocker = asyncio.Event()
+
+            async def stall():
+                await blocker.wait()
+
+            shard = server.shards[0]
+            await shard.queue.put([])  # wake-up job: empty batch
+            real_get = shard.queue.get
+
+            async def slow_get():
+                job = await real_get()
+                if not blocker.is_set():
+                    await blocker.wait()
+                return job
+
+            shard.queue.get = slow_get
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            futures = []
+            for k in range(6):
+                futures.append(
+                    client.submit(
+                        {"op": "arrive", "id": k, "arrival": 0.0,
+                         "departure": 1.0, "size": 0.1}
+                    )
+                )
+                await client.drain_writes()
+                await asyncio.sleep(0.005)
+            blocker.set()
+            replies = await asyncio.gather(*futures)
+            rejected = [r for r in replies if not r.get("ok")]
+            assert rejected, "expected overloaded replies"
+            assert {r["error"] for r in rejected} == {"overloaded"}
+            assert all(r["retry_after"] > 0 for r in rejected)
+            accepted = [r for r in replies if r.get("ok")]
+            assert accepted, "some requests must still be served"
+            await client.aclose()
+            shard.queue.get = real_get
+            await server.drain()
+
+        run(main())
+
+
+class TestDrain:
+    def test_draining_refuses_new_work_but_answers_stats(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=2.0, size=0.5)
+            server.draining = True  # freeze the flag without closing yet
+            reply = await client.arrive(2, arrival=1.0, departure=2.0,
+                                        size=0.5)
+            assert reply["error"] == "draining"
+            stats = await client.stats()
+            assert stats["ok"] and stats["draining"] is True
+            await client.aclose()
+            server.draining = False
+            await server.drain()
+
+        run(main())
+
+    def test_drain_flushes_pending_microbatches(self):
+        async def main():
+            server = await started(
+                ServeConfig(batch_max=64, batch_delay=30.0)
+            )
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            futures = [
+                client.submit(
+                    {"op": "arrive", "id": k, "arrival": 0.0,
+                     "departure": 1.0, "size": 0.2}
+                )
+                for k in range(5)
+            ]
+            await client.drain_writes()
+            await asyncio.sleep(0.05)
+            # far below batch_max and far before the age bound: the
+            # requests are parked in the batcher, replies pending
+            assert sum(f.done() for f in futures) == 0
+            await server.drain()
+            replies = await asyncio.gather(*futures)
+            assert all(r["ok"] for r in replies)
+            assert server.totals()["accepted"] == 5
+            await client.aclose()
+
+        run(main())
+
+    def test_drain_is_idempotent(self):
+        async def main():
+            server = await started(ServeConfig())
+            await server.drain()
+            await server.drain()
+            assert server.drained.is_set()
+
+        run(main())
+
+    def test_ledger_record_written_on_drain(self, tmp_path):
+        async def main():
+            server = await started(
+                ServeConfig(ledger_dir=tmp_path / "ledger")
+            )
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=2.0, size=0.5)
+            await client.aclose()
+            await server.drain()
+            return server.ledger_path
+
+        path = run(main())
+        record = json.loads(path.read_text())
+        assert record["kind"] == "serve"
+        assert record["algorithm"] == "HybridAlgorithm"
+        assert record["config"]["shards"] == 1
+        assert record["config"]["resumed"] is False
+        assert record["metrics"]["service"]["accepted"] == 1
+        assert "request_latency" in record["metrics"]["timings"]
+
+
+class TestCheckpointResume:
+    """Kill a server mid-stream; the resumed one must not miss a beat."""
+
+    @staticmethod
+    async def feed(client, uids, tenant="t"):
+        replies = []
+        for uid in uids:
+            replies.append(
+                await client.arrive(
+                    uid, arrival=float(uid), departure=uid + 5.0,
+                    size=0.35, tenant=tenant,
+                )
+            )
+        return replies
+
+    def test_drain_then_resume_continues_bit_for_bit(self, tmp_path):
+        async def main():
+            ckpt_dir = tmp_path / "ckpts"
+            # reference: one uninterrupted server over all 30 items
+            ref = await started(ServeConfig(shards=2))
+            ref_client = await PlacementClient.connect(
+                "127.0.0.1", ref.port
+            )
+            ref_replies = await self.feed(ref_client, range(30), "a")
+            ref_stats = await ref_client.stats()
+            await ref_client.aclose()
+            await ref.drain()
+
+            # interrupted twin: drain (checkpoint) after 18, then resume
+            first = await started(
+                ServeConfig(shards=2, checkpoint_dir=ckpt_dir)
+            )
+            client = await PlacementClient.connect("127.0.0.1", first.port)
+            head = await self.feed(client, range(18), "a")
+            await client.aclose()
+            await first.drain()
+            assert sorted(p.name for p in ckpt_dir.glob("*.ckpt")) == [
+                "shard-0.ckpt", "shard-1.ckpt",
+            ]
+
+            second = await started(
+                ServeConfig(
+                    shards=2, checkpoint_dir=ckpt_dir, resume=True
+                )
+            )
+            client = await PlacementClient.connect(
+                "127.0.0.1", second.port
+            )
+            tail = await self.feed(client, range(18, 30), "a")
+            stats = await client.stats()
+            await client.aclose()
+            await second.drain()
+            return ref_replies, ref_stats, head + tail, stats
+
+        ref_replies, ref_stats, replies, stats = run(main())
+
+        def logical(rs):
+            # seq is client-connection bookkeeping, latency is wall-clock;
+            # everything else is the placement decision itself
+            return [
+                {k: v for k, v in r.items()
+                 if k not in ("latency_us", "seq")}
+                for r in rs
+            ]
+
+        assert logical(replies) == logical(ref_replies)
+        for key in ("items", "departures", "open_bins", "bins_opened",
+                    "max_open", "cost", "accepted"):
+            assert stats["totals"][key] == ref_stats["totals"][key], key
+
+    def test_no_accepted_item_is_lost_across_drain(self, tmp_path):
+        async def main():
+            ckpt_dir = tmp_path / "ckpts"
+            first = await started(
+                ServeConfig(checkpoint_dir=ckpt_dir,
+                            batch_max=16, batch_delay=30.0)
+            )
+            client = await PlacementClient.connect(
+                "127.0.0.1", first.port
+            )
+            # park 7 accepted-but-unflushed requests in the micro-batcher,
+            # then drain: every one must be decided and checkpointed
+            futures = [
+                client.submit(
+                    {"op": "arrive", "id": k, "arrival": 0.0,
+                     "departure": 9.0, "size": 0.1}
+                )
+                for k in range(7)
+            ]
+            await client.drain_writes()
+            await asyncio.sleep(0.05)
+            await first.drain()
+            replies = await asyncio.gather(*futures)
+            assert all(r["ok"] for r in replies)
+            await client.aclose()
+            before = first.totals()
+
+            resumed = await started(
+                ServeConfig(checkpoint_dir=ckpt_dir, resume=True)
+            )
+            client = await PlacementClient.connect(
+                "127.0.0.1", resumed.port
+            )
+            stats = await client.stats()
+            await client.aclose()
+            await resumed.drain()
+            return before, stats
+
+        before, stats = run(main())
+        assert before["items"] == 7  # all 7 decided during the drain
+        assert stats["totals"]["items"] == 7
+        assert stats["totals"]["accepted"] == 7
+        # the resumed fleet carries the drained fleet's state exactly
+        for key in ("departures", "open_bins", "bins_opened", "max_open",
+                    "cost"):
+            assert stats["totals"][key] == before[key], key
+
+    def test_resumed_server_stamps_ledger(self, tmp_path):
+        async def main():
+            config = ServeConfig(
+                checkpoint_dir=tmp_path / "ck",
+                ledger_dir=tmp_path / "ledger",
+            )
+            first = await started(config)
+            client = await PlacementClient.connect(
+                "127.0.0.1", first.port
+            )
+            await client.arrive(1, arrival=0.0, departure=2.0, size=0.5)
+            await client.aclose()
+            await first.drain()
+
+            resumed = await started(
+                ServeConfig(
+                    checkpoint_dir=tmp_path / "ck",
+                    ledger_dir=tmp_path / "ledger",
+                    resume=True,
+                )
+            )
+            await resumed.drain()
+            return first.ledger_path, resumed.ledger_path
+
+        fresh_path, resumed_path = run(main())
+        assert json.loads(fresh_path.read_text())["config"]["resumed"] is False
+        assert json.loads(resumed_path.read_text())["config"]["resumed"] is True
+
+
+class TestMetrics:
+    def test_merged_metrics_cover_all_shards(self):
+        async def main():
+            server = await started(ServeConfig(shards=3))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(12):
+                await client.arrive(k, arrival=0.0, departure=1.0,
+                                    size=0.5, tenant=f"t{k}")
+            snap = server._metrics_snapshot()
+            await client.aclose()
+            await server.drain()
+            return snap
+
+        snap = run(main())
+        assert snap["counters"]["arrivals"] == 12
+        assert snap["service"]["accepted"] == 12
+        assert snap["timings"]["request_latency"]["total"] == 12
+
+    def test_request_latency_histogram_merges(self):
+        async def main():
+            server = await started(ServeConfig(shards=2))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(8):
+                await client.arrive(k, arrival=0.0, departure=1.0,
+                                    size=0.5, tenant=f"t{k}")
+            merged = server.merged_request_latency()
+            await client.aclose()
+            await server.drain()
+            return merged
+
+        merged = run(main())
+        assert merged.total == 8

@@ -56,6 +56,26 @@ class TestLedgerFlags:
         assert rec.metrics["cost"] > 0
         assert rec.invariants is None  # monitors are opt-in
 
+    def test_resumed_replays_are_marked_in_the_ledger(
+        self, jsonl_path, tmp_path, capsys
+    ):
+        # a resumed run covers only part of the trace; the flag keeps
+        # `obs regress` from gating it against a full-run baseline
+        ckpt = tmp_path / "engine.ckpt"
+        led = tmp_path / "led"
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit",
+             "--checkpoint-every", "100", "--checkpoint", str(ckpt),
+             "--ledger-dir", str(led)]
+        ) == 0
+        assert main(
+            ["replay", jsonl_path, "-a", "FirstFit", "--resume", str(ckpt),
+             "--ledger-dir", str(led)]
+        ) == 0
+        capsys.readouterr()
+        flags = sorted(rec.config["resumed"] for rec in read_ledger(led))
+        assert flags == [False, True]
+
     def test_no_ledger_suppresses_writes(self, jsonl_path, tmp_path, capsys,
                                          monkeypatch):
         led = tmp_path / "led"

@@ -86,6 +86,14 @@ class TestJsonlRoundTrip:
         text = dumps_jsonl(tiny_instance).replace("\n", "\n\n")
         assert loads_jsonl(text) == tiny_instance
 
+    def test_whitespace_only_lines_ignored(self, tiny_instance):
+        text = "  \n" + dumps_jsonl(tiny_instance) + "\t\n   \n"
+        assert loads_jsonl(text) == tiny_instance
+
+    def test_missing_trailing_newline(self, tiny_instance):
+        text = dumps_jsonl(tiny_instance).rstrip("\n")
+        assert loads_jsonl(text) == tiny_instance
+
     def test_csv_jsonl_agree(self, tiny_instance):
         assert loads_jsonl(dumps_jsonl(tiny_instance)) == loads_csv(
             dumps_csv(tiny_instance)
@@ -117,6 +125,25 @@ class TestIterJsonl:
             range(len(tiny_instance))
         )
 
+    def test_blank_lines_skipped_without_uid_gaps(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '\n{"arrival": 0.0, "departure": 1.0, "size": 0.5}\n'
+            '   \n'
+            '{"arrival": 2.0, "departure": 3.0, "size": 0.5}\n\n'
+        )
+        items = list(iter_jsonl(path))
+        assert [it.uid for it in items] == [0, 1]
+        assert [it.arrival for it in items] == [0.0, 2.0]
+
+    def test_missing_trailing_newline(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"arrival": 0.0, "departure": 1.0, "size": 0.5}\n'
+            '{"arrival": 2.0, "departure": 3.0, "size": 0.5}'
+        )
+        assert len(list(iter_jsonl(path))) == 2
+
 
 class TestJsonlErrors:
     def test_bad_json(self):
@@ -141,6 +168,23 @@ class TestJsonlErrors:
         with pytest.raises(InvalidInstanceError, match="line 2"):
             list(iter_jsonl(path))
 
+    def test_invalid_item_reports_line_number(self):
+        # departs before it arrives: an Item-level failure that must
+        # surface as a line-numbered instance error, not InvalidItemError
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            loads_jsonl(
+                '{"arrival": 0.0, "departure": 1.0, "size": 0.5}\n'
+                '{"arrival": 5.0, "departure": 2.0, "size": 0.5}\n'
+            )
+
+    def test_iter_jsonl_invalid_item_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '\n{"arrival": 0.0, "departure": 1.0, "size": 0.0}\n'
+        )
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            list(iter_jsonl(path))
+
 
 class TestErrors:
     def test_bad_header(self):
@@ -155,6 +199,6 @@ class TestErrors:
         with pytest.raises(InvalidInstanceError):
             loads_csv("arrival,departure,size\n1,2,big\n")
 
-    def test_invalid_item_propagates(self):
-        with pytest.raises(Exception):
+    def test_invalid_item_reports_line_number(self):
+        with pytest.raises(InvalidInstanceError, match="line 2"):
             loads_csv("arrival,departure,size\n5,2,0.5\n")  # dep < arr
