@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures table1 curves docs regress sweep serve-smoke clean all
+.PHONY: install test bench bench-report report figures table1 curves docs regress sweep serve-smoke clean all
 
 install:
 	pip install -e .
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Aggregate benchmarks/output/BENCH_*.json into BENCH_SUMMARY.{json,md}.
+bench-report:
+	$(PYTHON) scripts/bench_report.py
 
 report:
 	$(PYTHON) -m repro report -o REPORT.md

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Aggregate benchmarks/output/BENCH_*.json into one summary artifact.
+
+Each benchmark run (bench_kernel, bench_engine, bench_obs, ...) freezes
+its result as a ledger RunRecord under ``benchmarks/output/``.  This
+script collects every ``BENCH_*.json`` into a single
+``BENCH_SUMMARY.json`` plus a markdown table, surfacing the scalar
+headline metrics (the kernel's columnar ``speedup`` in particular) so
+CI can gate on one file instead of re-parsing each record.
+
+Run:  python scripts/bench_report.py [--output-dir DIR] [--min-speedup X]
+
+``--min-speedup`` makes the script exit non-zero when the kernel
+benchmark's ``speedup`` metric is missing or below the floor — that is
+the perf-smoke gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "output"
+
+SUMMARY_JSON = "BENCH_SUMMARY.json"
+SUMMARY_MD = "BENCH_SUMMARY.md"
+
+#: Metrics hoisted into the summary's top-level ``headline`` mapping,
+#: keyed by ``(bench name, metric name)``.
+HEADLINE_METRICS = (
+    ("KERNEL", "speedup"),
+    ("KERNEL", "index_speedup"),
+    ("KERNEL", "rss_reduction"),
+)
+
+
+def _scalar_metrics(metrics: dict) -> dict:
+    """The flat (non-nested) numeric metrics of one record."""
+    return {
+        key: value
+        for key, value in sorted(metrics.items())
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def collect(output_dir: pathlib.Path) -> dict:
+    """Build the summary mapping from every BENCH_*.json in ``output_dir``."""
+    benches: dict[str, dict] = {}
+    for path in sorted(output_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY_JSON:
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            record = json.loads(path.read_text())
+        except ValueError as exc:
+            raise SystemExit(f"bench_report: {path.name} is not valid JSON: {exc}")
+        metrics = record.get("metrics") or {}
+        benches[name] = {
+            "file": path.name,
+            "algorithm": record.get("algorithm"),
+            "generator": record.get("generator"),
+            "run_id": record.get("run_id"),
+            "git": record.get("git"),
+            "metrics": _scalar_metrics(metrics),
+            "metric_groups": sorted(
+                key for key, value in metrics.items() if isinstance(value, dict)
+            ),
+        }
+    headline = {}
+    for bench, metric in HEADLINE_METRICS:
+        value = benches.get(bench, {}).get("metrics", {}).get(metric)
+        if value is not None:
+            headline[f"{bench.lower()}_{metric}"] = value
+    return {"schema": 1, "benches": benches, "headline": headline}
+
+
+def render_markdown(summary: dict) -> str:
+    lines = [
+        "# Benchmark summary",
+        "",
+        "Aggregated from `benchmarks/output/BENCH_*.json` by"
+        " `scripts/bench_report.py` (`make bench-report`).",
+        "",
+        "| bench | algorithm | generator | headline metrics |",
+        "|---|---|---|---|",
+    ]
+    for name, info in summary["benches"].items():
+        metrics = info["metrics"]
+        if metrics:
+            shown = ", ".join(f"{k}={v:.4g}" for k, v in metrics.items())
+        else:
+            groups = ", ".join(info["metric_groups"]) or "none"
+            shown = f"(nested: {groups})"
+        lines.append(
+            f"| {name} | {info['algorithm']} | {info['generator']} | {shown} |"
+        )
+    lines.append("")
+    headline = summary["headline"]
+    if headline:
+        lines.append("Headline: " + ", ".join(
+            f"{key} = {value:.4g}" for key, value in headline.items()
+        ))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help="directory holding BENCH_*.json (default: benchmarks/output)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless the kernel columnar speedup is >= X",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.output_dir.is_dir():
+        print(f"bench_report: no such directory: {args.output_dir}", file=sys.stderr)
+        return 1
+    summary = collect(args.output_dir)
+    if not summary["benches"]:
+        print(f"bench_report: no BENCH_*.json under {args.output_dir}", file=sys.stderr)
+        return 1
+
+    json_path = args.output_dir / SUMMARY_JSON
+    json_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    md_path = args.output_dir / SUMMARY_MD
+    md_path.write_text(render_markdown(summary))
+    print(f"wrote {json_path} and {md_path} "
+          f"({len(summary['benches'])} benchmark records)")
+
+    if args.min_speedup is not None:
+        speedup = summary["headline"].get("kernel_speedup")
+        if speedup is None:
+            print("bench_report: kernel speedup metric missing "
+                  "(run benchmarks/bench_kernel.py first)", file=sys.stderr)
+            return 1
+        if speedup < args.min_speedup:
+            print(f"bench_report: kernel speedup {speedup:.3f}x is below "
+                  f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
+            return 1
+        print(f"kernel speedup {speedup:.3f}x >= {args.min_speedup:.2f}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

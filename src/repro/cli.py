@@ -473,7 +473,6 @@ def _pack(args) -> int:
 
 
 def _replay(args) -> int:
-    import itertools
     import time as _time
 
     from .engine import (
@@ -481,7 +480,7 @@ def _replay(args) -> int:
         EngineMetrics,
         JSONSink,
         load_checkpoint,
-        open_trace,
+        open_trace_stores,
         save_checkpoint,
     )
     from .parallel import ALGORITHM_REGISTRY, _registry
@@ -550,22 +549,37 @@ def _replay(args) -> int:
         )
         skip = 0
 
-    source = open_trace(args.trace, format=args.format)
-    if args.limit:
-        source = itertools.islice(source, args.limit)
+    source = open_trace_stores(args.trace, format=args.format)
     ckpt_path = args.checkpoint or f"{args.trace}.ckpt"
     every = max(0, args.checkpoint_every)
+    limit = args.limit or None
 
     def _feed_all() -> None:
+        # Drain columnar chunks.  ``fed`` counts trace rows consumed —
+        # including rows skipped on resume — matching the item-at-a-time
+        # loop this replaces, so --limit / --resume / --checkpoint-every
+        # land on exactly the same rows.
         nonlocal fed
-        for item in source:
+        for chunk in source:
+            take = len(chunk)
+            if limit is not None:
+                take = min(take, limit - fed)
+                if take <= 0:
+                    return
+            i = 0
             if fed < skip:  # already applied before the checkpoint
-                fed += 1
-                continue
-            engine.feed(item)
-            fed += 1
-            if every and fed % every == 0:
-                save_checkpoint(engine, ckpt_path)
+                i = min(skip - fed, take)
+                fed += i
+            if every:
+                while i < take:
+                    engine.feed_row(chunk, i)
+                    fed += 1
+                    i += 1
+                    if fed % every == 0:
+                        save_checkpoint(engine, ckpt_path)
+            elif i < take:
+                engine.feed_store(chunk, i, take)
+                fed += take - i
 
     from .obs.invariants import InvariantViolationError
 

@@ -26,12 +26,13 @@ from .intervals import (
     merge_intervals,
     union_measure,
 )
-from .item import Item, UNKNOWN_DEPARTURE
+from .item import Item, UNKNOWN_DEPARTURE, item_view
 from .kernel import KernelListener, OpenBinIndex, PlacementKernel
 from .objectives import max_bins, momentary_ratio, optimal_bins_profile, usage_time
 from .profile import LoadProfile, load_profile
 from .result import PackingResult
 from .simulation import IncrementalSimulation, simulate
+from .store import ItemStore, validate_item_values
 from .validate import audit, audit_cost, check_feasible_bin
 
 __all__ = [
@@ -40,6 +41,9 @@ __all__ = [
     "LOAD_EPS",
     "Item",
     "UNKNOWN_DEPARTURE",
+    "item_view",
+    "ItemStore",
+    "validate_item_values",
     "Instance",
     "InstanceStats",
     "merge_intervals",

@@ -4,6 +4,13 @@ An :class:`Instance` is the paper's ``σ``.  Items are kept in *release
 order*: non-decreasing arrival time, with ties preserved in construction
 order (the paper lets simultaneous items arrive "with some arbitrary order";
 the instance order **is** that order, and the simulator honours it).
+
+Since the columnar refactor an instance is a thin validated view over an
+:class:`~repro.core.store.ItemStore`: the items live as struct-of-arrays
+columns, ``Instance[i]`` materializes a lazy boxed :class:`Item` view on
+demand, and contiguous slices are zero-copy windows over the parent's
+columns.  The sequence protocol, equality, hashing and every statistic
+are unchanged — only the storage moved.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from .errors import InvalidInstanceError
-from .item import Item
+from .item import Item, item_view
+from .store import ItemStore
 
 __all__ = ["Instance", "InstanceStats"]
 
@@ -35,37 +43,18 @@ class InstanceStats:
 class Instance(Sequence[Item]):
     """An immutable, validated sequence of items in release order."""
 
-    __slots__ = ("_items", "_stats")
+    __slots__ = ("_store", "_stats", "_items_cache")
 
     def __init__(self, items: Iterable[Item], *, reassign_uids: bool = True):
-        items = list(items)
+        store = ItemStore.from_items(items)
         if reassign_uids:
-            items = [
-                Item(it.arrival, it.departure, it.size, uid=k)
-                for k, it in enumerate(items)
-            ]
-        self._validate(items)
-        self._items: tuple[Item, ...] = tuple(items)
+            store.assign_sequential_uids()
+        # sequential uids are unique by construction — the duplicate scan
+        # (an O(n) set build) only runs for caller-supplied uids
+        store.validate_release_order(check_uids=not reassign_uids)
+        self._store = store
         self._stats: InstanceStats | None = None
-
-    @staticmethod
-    def _validate(items: list[Item]) -> None:
-        last_arrival = -math.inf
-        seen_uids: set[int] = set()
-        for it in items:
-            if it.departure is None:
-                raise InvalidInstanceError(
-                    f"instance items must have known departures, got {it}"
-                )
-            if it.arrival < last_arrival:
-                raise InvalidInstanceError(
-                    "items must be in non-decreasing arrival order "
-                    f"({it} arrives before {last_arrival:g})"
-                )
-            last_arrival = it.arrival
-            if it.uid in seen_uids:
-                raise InvalidInstanceError(f"duplicate item uid {it.uid}")
-            seen_uids.add(it.uid)
+        self._items_cache: tuple[Item, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -79,13 +68,40 @@ class Instance(Sequence[Item]):
         Ties in arrival keep the input order (stable sort), matching the
         paper's "arbitrary but fixed" simultaneous-arrival order.
         """
-        items = [Item(a, d, s) for (a, d, s) in triples]
-        items.sort(key=lambda it: it.arrival)
-        return cls(items)
+        store = ItemStore.from_tuples(triples)
+        store.sort_by_arrival()
+        return cls.from_store(store)
+
+    @classmethod
+    def from_store(
+        cls, store: ItemStore, *, reassign_uids: bool = True
+    ) -> "Instance":
+        """Adopt ``store`` as an instance's backing columns (no copy).
+
+        The store is validated (release order; known departures) and —
+        by default — renumbered with sequential uids, exactly like
+        ``Instance(items)``.  The caller must not mutate the store
+        afterwards; loaders hand over ownership here.
+        """
+        if store.is_view:
+            store = _copy_store(store)
+        if reassign_uids:
+            store.assign_sequential_uids()
+        store.validate_release_order(check_uids=not reassign_uids)
+        return cls._wrap(store)
+
+    @classmethod
+    def _wrap(cls, store: ItemStore) -> "Instance":
+        """Trusted constructor: adopt an already-validated store as-is."""
+        inst = object.__new__(cls)
+        inst._store = store
+        inst._stats = None
+        inst._items_cache = None
+        return inst
 
     def map(self, fn: Callable[[Item], Item]) -> "Instance":
         """A new instance with ``fn`` applied to every item (re-sorted, uids kept)."""
-        items = sorted((fn(it) for it in self._items), key=lambda it: it.arrival)
+        items = sorted((fn(it) for it in self), key=lambda it: it.arrival)
         return Instance(items, reassign_uids=False)
 
     def shifted(self, delta: float) -> "Instance":
@@ -101,30 +117,47 @@ class Instance(Sequence[Item]):
         helper makes any instance conform without changing μ or competitive
         ratios (MinUsageTime is homogeneous under time scaling).
         """
-        if not self._items:
+        if not len(self._store):
             return self
-        m = min(it.length for it in self._items)
+        m = min(it.length for it in self)
         return self.scaled(1.0 / m)
 
     # ------------------------------------------------------------------ #
     # Sequence protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._store)
 
     def __getitem__(self, idx):  # type: ignore[override]
         if isinstance(idx, slice):
-            return Instance(self._items[idx], reassign_uids=False)
-        return self._items[idx]
+            sliced = self._store[idx]
+            # a sub-window of a valid instance is itself valid (order and
+            # uid uniqueness are hereditary) — adopt it unvalidated
+            return Instance._wrap(sliced)
+        return self._store.item(idx)
 
     def __iter__(self) -> Iterator[Item]:
-        return iter(self._items)
+        return iter(self._store)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Instance) and self._items == other._items
+        if not isinstance(other, Instance):
+            return NotImplemented
+        a = self._store.columns()
+        b = other._store.columns()
+        if a[5] - a[4] != b[5] - b[4]:
+            return False
+        # Item equality excludes uid (compare=False), so instances match
+        # on their (arrival, departure, size) columns alone
+        for col in (0, 1, 2):
+            ca, cb = a[col], b[col]
+            oa, ob = a[4], b[4]
+            for k in range(a[5] - a[4]):
+                if ca[oa + k] != cb[ob + k]:
+                    return False
+        return True
 
     def __hash__(self) -> int:
-        return hash(self._items)
+        return hash(self.items)
 
     def __repr__(self) -> str:
         st = self.stats
@@ -137,8 +170,16 @@ class Instance(Sequence[Item]):
     # Statistics (paper Section 2)
     # ------------------------------------------------------------------ #
     @property
+    def store(self) -> ItemStore:
+        """The backing :class:`ItemStore` (treat as read-only)."""
+        return self._store
+
+    @property
     def items(self) -> tuple[Item, ...]:
-        return self._items
+        if self._items_cache is None:
+            object.__setattr__(self, "_items_cache", tuple(self._store))
+        assert self._items_cache is not None
+        return self._items_cache
 
     @property
     def stats(self) -> InstanceStats:
@@ -148,20 +189,36 @@ class Instance(Sequence[Item]):
         return self._stats
 
     def _compute_stats(self) -> InstanceStats:
-        if not self._items:
+        arr, dep, siz, _, start, stop = self._store.columns()
+        if start == stop:
             return InstanceStats(0, 1.0, math.inf, 0.0, 0.0, 0.0, 0.0, 0.0)
         from .intervals import union_measure
 
-        lengths = [it.length for it in self._items]
-        min_len, max_len = min(lengths), max(lengths)
+        # one columnwise pass; accumulation order matches the historical
+        # per-item loops bit for bit (same values, same float op order)
+        min_len = math.inf
+        max_len = -math.inf
+        demand = 0.0
+        total_size = 0.0
+        events: list[tuple[float, float]] = []
+        push = events.append
+        for j in range(start, stop):
+            a = arr[j]
+            d = dep[j]
+            s = siz[j]
+            length = d - a
+            if length < min_len:
+                min_len = length
+            if length > max_len:
+                max_len = length
+            demand += s * length
+            total_size += s
+            push((a, s))
+            push((d, -s))
         span = union_measure(
-            (it.arrival, it.departure) for it in self._items  # type: ignore[misc]
+            (arr[j], dep[j]) for j in range(start, stop)
         )
         # max load via a sweep over ±size events (departures first on ties)
-        events: list[tuple[float, float]] = []
-        for it in self._items:
-            events.append((it.arrival, it.size))
-            events.append((it.departure, -it.size))  # type: ignore[arg-type]
         events.sort()
         load = 0.0
         max_load = 0.0
@@ -169,14 +226,14 @@ class Instance(Sequence[Item]):
             load += ds
             max_load = max(max_load, load)
         return InstanceStats(
-            n_items=len(self._items),
+            n_items=stop - start,
             mu=max_len / min_len,
             min_length=min_len,
             max_length=max_len,
-            demand=sum(it.demand for it in self._items),
+            demand=demand,
             span=span,
             max_load=max_load,
-            total_size=sum(it.size for it in self._items),
+            total_size=total_size,
         )
 
     @property
@@ -196,7 +253,18 @@ class Instance(Sequence[Item]):
 
     def active_at(self, t: float) -> list[Item]:
         """The items active at time ``t`` (half-open semantics)."""
-        return [it for it in self._items if it.active_at(t)]
+        arr, dep, siz, uids, start, stop = self._store.columns()
+        out = []
+        for j in range(start, stop):
+            a = arr[j]
+            if t < a:
+                continue
+            d = dep[j]
+            if d != d or t < d:
+                out.append(
+                    item_view(a, None if d != d else d, siz[j], uids[j])
+                )
+        return out
 
     def load_at(self, t: float) -> float:
         """S_t(σ) — total size of items active at time ``t``."""
@@ -205,6 +273,17 @@ class Instance(Sequence[Item]):
     def concat(self, other: "Instance") -> "Instance":
         """Merge two instances (items re-sorted by arrival, uids reassigned)."""
         merged = sorted(
-            list(self._items) + list(other.items), key=lambda it: it.arrival
+            list(self) + list(other), key=lambda it: it.arrival
         )
         return Instance(merged)
+
+
+def _copy_store(view: ItemStore) -> ItemStore:
+    """Materialize a windowed store as a fresh root store."""
+    out = ItemStore()
+    arr, dep, siz, uids, start, stop = view.columns()
+    out.arrivals = arr[start:stop]
+    out.departures = dep[start:stop]
+    out.sizes = siz[start:stop]
+    out.uids = uids[start:stop]
+    return out

@@ -21,7 +21,7 @@ from typing import Optional
 
 from .errors import InvalidItemError
 
-__all__ = ["Item", "UNKNOWN_DEPARTURE"]
+__all__ = ["Item", "UNKNOWN_DEPARTURE", "item_view"]
 
 #: Sentinel meaning "the departure time has not been revealed yet".
 UNKNOWN_DEPARTURE: None = None
@@ -130,3 +130,33 @@ class Item:
     def __str__(self) -> str:  # compact, used in ASCII renderings
         dep = "?" if self.departure is None else f"{self.departure:g}"
         return f"r{self.uid}[{self.arrival:g},{dep})x{self.size:g}"
+
+
+_new_item = Item.__new__
+# bound slot descriptors: like object.__setattr__ but without the
+# per-call attribute-name lookup (this is the hottest allocation site
+# in the columnar data plane)
+_set_arrival = Item.__dict__["arrival"].__set__
+_set_departure = Item.__dict__["departure"].__set__
+_set_size = Item.__dict__["size"].__set__
+_set_uid = Item.__dict__["uid"].__set__
+
+
+def item_view(
+    arrival: float, departure: Optional[float], size: float, uid: int
+) -> Item:
+    """Build an :class:`Item` without re-running validation.
+
+    The columnar data plane (:mod:`repro.core.store`) validates rows
+    once on append; materializing a boxed view afterwards must not pay
+    ``__post_init__`` again — at a million items per simulate() call the
+    difference is the data plane's whole margin.  Only for values that
+    have already passed :class:`Item`'s checks; everything else must go
+    through the real constructor.
+    """
+    it = _new_item(Item)
+    _set_arrival(it, arrival)
+    _set_departure(it, departure)
+    _set_size(it, size)
+    _set_uid(it, uid)
+    return it

@@ -58,6 +58,7 @@ from __future__ import annotations
 import heapq
 import math
 import time as _time
+from itertools import islice
 from bisect import bisect_left, insort
 from typing import Hashable, List, Optional, Tuple
 
@@ -67,7 +68,7 @@ from .errors import (
     PackingError,
     SimulationError,
 )
-from .item import Item
+from .item import Item, item_view
 from .result import PackingResult
 
 __all__ = [
@@ -382,6 +383,10 @@ class PlacementKernel:
         self._bin_items: dict[int, list[int]] = {}
         self._departed_at: dict[int, float] = {}
         algorithm.reset()
+        # hot-path caches (recomputed on unpickle; see __setstate__)
+        self._masked = self.masks_departures
+        self._dep_hook = getattr(algorithm, "notify_departure", None)
+        self._close_hook = getattr(algorithm, "notify_close", None)
 
     # ------------------------------------------------------------------ #
     # The facade surface (SimulationView protocol)
@@ -414,6 +419,28 @@ class PlacementKernel:
     def has_active(self) -> bool:
         """Whether any item is still inside a bin."""
         return bool(self._item_bin)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether the O(log n) open-bin index is maintained."""
+        return self._index is not None
+
+    def set_indexed(self, flag: bool) -> None:
+        """Switch the open-bin index on or off, mid-run.
+
+        Turning it on rebuilds the index over the current open bins in
+        opening order (identical query results from the next placement
+        on); turning it off falls back to linear scans.  The restore
+        paths use this to honour ``--no-index`` on resumed engines,
+        whatever the checkpointed run used.
+        """
+        if flag and self._index is None:
+            index = OpenBinIndex()
+            for b in self._open.values():
+                index.add(b)
+            self._index = index
+        elif not flag:
+            self._index = None
 
     def is_open(self, uid: int) -> bool:
         """Whether bin ``uid`` is currently open (O(1))."""
@@ -536,13 +563,106 @@ class PlacementKernel:
                 f"{item.arrival} but the clock is at {self.time}"
             )
         self._advance(item.arrival)
-        masked = self.masks_departures
+        masked = self._masked
         if item.departure is None and not masked:
             raise ClairvoyanceError(
                 f"clairvoyant algorithm {self.algorithm!r} received an item "
                 "with unknown departure"
             )
         view = item.masked() if masked else item
+        return self._finish_release(item, view)
+
+    def release_values(
+        self,
+        arrival: float,
+        departure: Optional[float],
+        size: float,
+        uid: int,
+    ) -> Bin:
+        """Columnar :meth:`release`: the same semantics, from plain scalars.
+
+        The hot path for store-backed frontends — no caller-side
+        :class:`Item` allocation; the kernel builds exactly one
+        (pre-validated) boxed view per arrival, two when masking hides
+        the departure from the algorithm.  Values must already satisfy
+        :class:`Item`'s invariants (store rows are validated on append).
+        """
+        if arrival < self.time:
+            raise SimulationError(
+                "items must be released in arrival order: "
+                f"{item_view(arrival, departure, size, uid)} arrives at "
+                f"{arrival} but the clock is at {self.time}"
+            )
+        self._advance(arrival)
+        masked = self._masked
+        if departure is None and not masked:
+            raise ClairvoyanceError(
+                f"clairvoyant algorithm {self.algorithm!r} received an item "
+                "with unknown departure"
+            )
+        item = item_view(arrival, departure, size, uid)
+        view = item_view(arrival, None, size, uid) if masked else item
+        return self._finish_release(item, view)
+
+    def release_store(self, store, start: int = 0, stop: Optional[int] = None):
+        """Release rows ``[start, stop)`` of an :class:`ItemStore` in order.
+
+        The batch ``simulate()`` loop: :meth:`release_values` semantics,
+        hand-inlined straight over the store's columns — no per-row
+        method dispatch, no ``_advance`` call when no departure is due —
+        and returns the number of rows released.  Decision-for-decision
+        identical to calling :meth:`release` on each row's item.
+        """
+        arr, dep, siz, uids, w0, w1 = store.columns()
+        lo = w0 + start
+        hi = w1 if stop is None else w0 + stop
+        masked = self._masked
+        place = self.algorithm.place
+        facade = self._facade
+        advance = self._advance
+        commit = self._commit
+        dq = self._departures
+        push = heapq.heappush
+        # zip iteration over the raw columns is ~2x cheaper than
+        # per-index array reads; islice bounds it to the window
+        for arrival, d, size, uid in islice(
+            zip(arr, dep, siz, uids), lo, hi
+        ):
+            if arrival < self.time:
+                raise SimulationError(
+                    "items must be released in arrival order: "
+                    f"{item_view(arrival, d if d == d else None, size, uid)} "
+                    f"arrives at {arrival} but the clock is at {self.time}"
+                )
+            if dq and dq[0][0] <= arrival:
+                advance(arrival)
+            elif arrival > self.time:  # _advance's no-departure tail
+                if self._listener is not None:
+                    self._listener.on_advance(arrival)
+                self.time = arrival
+            departure = d if d == d else None
+            if departure is None and not masked:
+                raise ClairvoyanceError(
+                    f"clairvoyant algorithm {self.algorithm!r} received an "
+                    "item with unknown departure"
+                )
+            item = item_view(arrival, departure, size, uid)
+            view = item_view(arrival, None, size, uid) if masked else item
+            chosen = place(view, facade)
+            opened = self._pending_bin is not None
+            bin_ = commit(item, view, chosen, opened)
+            if departure is not None:
+                push(dq, (departure, self._seq, uid))
+                self._seq += 1
+            else:
+                self._adaptive.add(uid)
+            listener = self._listener
+            if listener is not None:
+                listener.on_arrival(item, bin_, opened)
+        return hi - lo
+
+    def _finish_release(self, item: Item, view: Item) -> Bin:
+        """The shared tail of every release: place, commit, schedule."""
         chosen = self.algorithm.place(view, self._facade)
         opened = self._pending_bin is not None
         bin_ = self._commit(item, view, chosen, opened)
@@ -660,7 +780,7 @@ class PlacementKernel:
         removed = bin_._remove(uid)
         if self.record:
             self._departed_at[uid] = t
-        hook = getattr(self.algorithm, "notify_departure", None)
+        hook = self._dep_hook
         if hook is not None:
             hook(removed, bin_, self._facade)
         closed = bin_.n_items == 0
@@ -704,7 +824,7 @@ class PlacementKernel:
             )
         if self._listener is not None:
             self._listener.on_close(bin_, t, usage, peak, n_items)
-        hook = getattr(self.algorithm, "notify_close", None)
+        hook = self._close_hook
         if hook is not None:
             hook(bin_, self._facade)
 
@@ -718,17 +838,14 @@ class PlacementKernel:
         pending, self._pending_bin = self._pending_bin, None
         if not isinstance(chosen, Bin):
             raise PackingError(f"place() must return a Bin, got {chosen!r}")
-        if pending is not None and chosen is not pending:
-            raise PackingError(
-                "place() opened a new bin but returned a different one"
-            )
-        if pending is None and chosen.uid not in self._open:
-            raise PackingError(
-                f"place() returned bin {chosen.uid} which is not open"
-            )
-        chosen._add(view)
+        uid = chosen.uid
         if pending is not None:
-            self._open[chosen.uid] = chosen
+            if chosen is not pending:
+                raise PackingError(
+                    "place() opened a new bin but returned a different one"
+                )
+            chosen._add(view)
+            self._open[uid] = chosen
             self._sum_opened_at += chosen.opened_at
             if self._index is not None:
                 self._index.add(chosen)
@@ -736,16 +853,28 @@ class PlacementKernel:
                 self.open_count_events.append((self.time, +1))
             if self._listener is not None:
                 self._listener.on_open(chosen)
-        elif self._index is not None:
-            self._index.update(chosen)
+        else:
+            if uid not in self._open:
+                raise PackingError(
+                    f"place() returned bin {uid} which is not open"
+                )
+            chosen._add(view)
+            if self._index is not None:
+                self._index.update(chosen)
         load = chosen.load
-        if load > self._peak.get(chosen.uid, 0.0):
-            self._peak[chosen.uid] = load
-        self._bin_count[chosen.uid] = self._bin_count.get(chosen.uid, 0) + 1
+        peak = self._peak
+        if load > peak.get(uid, 0.0):
+            peak[uid] = load
+        counts = self._bin_count
+        counts[uid] = counts.get(uid, 0) + 1
         self._item_bin[item.uid] = chosen
         if self.record:
-            self._assignment[item.uid] = chosen.uid
-            self._bin_items.setdefault(chosen.uid, []).append(item.uid)
+            self._assignment[item.uid] = uid
+            members = self._bin_items.get(uid)
+            if members is None:
+                self._bin_items[uid] = [item.uid]
+            else:
+                members.append(item.uid)
             self._items.append(item)
         return chosen
 
@@ -756,12 +885,20 @@ class PlacementKernel:
         state = self.__dict__.copy()
         state["_listener"] = None
         state["_facade"] = None
+        # bound-method caches are recomputed on restore, not serialized
+        state.pop("_dep_hook", None)
+        state.pop("_close_hook", None)
+        state.pop("_masked", None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         if self._facade is None:
             self._facade = self
+        # also covers pre-columnar (v2-era) blobs, which lack the caches
+        self._masked = self.masks_departures
+        self._dep_hook = getattr(self.algorithm, "notify_departure", None)
+        self._close_hook = getattr(self.algorithm, "notify_close", None)
 
     def __repr__(self) -> str:
         name = getattr(self.algorithm, "name", type(self.algorithm).__name__)

@@ -185,9 +185,13 @@ def simulate(
         indexed=indexed,
         listener=listener,
     )
-    release = kernel.release
-    for item in instance:
-        release(item)
+    if isinstance(instance, Instance):
+        # columnar fast path: release straight off the store's columns
+        kernel.release_store(instance.store)
+    else:
+        release = kernel.release
+        for item in instance:
+            release(item)
     return kernel.finish()
 
 

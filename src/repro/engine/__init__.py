@@ -57,6 +57,7 @@ from .stream import (
     iter_tuples,
     merge,
     open_trace,
+    open_trace_stores,
     ordered,
     trace_format,
 )
@@ -101,5 +102,6 @@ __all__ = [
     "ordered",
     "merge",
     "open_trace",
+    "open_trace_stores",
     "trace_format",
 ]

@@ -21,8 +21,14 @@ caller resumes the stream at item index ``checkpoint.arrivals``
 (``repro-dbp replay --resume`` does exactly that, see the CLI).
 
 Version history: **v1** pickled the pre-kernel engine's flat attribute
-dict (PR 1); **v2** pickles the kernel-backed state.  v1 files are
-rejected with an explicit error rather than a pickle/attribute failure.
+dict (PR 1); **v2** pickles the kernel-backed state; **v3** (current)
+additionally lifts every :class:`~repro.core.item.Item` out of the
+object graph into four struct-of-arrays columns stored next to the blob
+(``Checkpoint.columns``), using the pickle ``persistent_id`` hook — the
+blob shrinks to pure kernel/algorithm state and restoring rebuilds each
+distinct item exactly once.  v2 files remain loadable (the columns field
+is simply absent); v1 files are rejected with an explicit error rather
+than a pickle/attribute failure.
 
 Restoring never calls ``algorithm.reset()`` — the algorithm continues
 from its pickled private state.  The parity guarantee carries over: a
@@ -33,16 +39,20 @@ bit-identical to the uninterrupted run (pinned by the checkpoint tests).
 from __future__ import annotations
 
 import io
+import math
 import pathlib
 import pickle
-from dataclasses import dataclass
-from typing import Union
+from array import array
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
 
 from ..core.errors import CheckpointError, SimulationError
+from ..core.item import Item, item_view
 from .loop import Engine
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "COMPAT_VERSIONS",
     "Checkpoint",
     "CheckpointError",
     "snapshot",
@@ -51,7 +61,9 @@ __all__ = [
     "load_checkpoint",
 ]
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+#: versions :meth:`Checkpoint.loads` accepts (v2 blobs carry no columns)
+COMPAT_VERSIONS = (2, 3)
 
 #: engine attributes captured in a snapshot, in a stable order
 _STATE_ATTRS = (
@@ -60,6 +72,72 @@ _STATE_ATTRS = (
     "accounting",
     "metrics",
 )
+
+_NAN = math.nan
+
+
+class _ColumnPickler(pickle.Pickler):
+    """Extract every :class:`Item` into struct-of-arrays columns.
+
+    ``persistent_id`` intercepts items during the joint engine pickle
+    and replaces each one with a row number; equal rows deduplicate, so
+    an item referenced from several places (a bin's contents *and* the
+    record history, say) costs 28 bytes once.  Everything else pickles
+    normally — bins, algorithms and the kernel keep their exact object
+    graph, which is what preserves shared-bin identity on restore.
+    """
+
+    def __init__(self, buf, protocol: int) -> None:
+        super().__init__(buf, protocol)
+        self._rows: dict[tuple, int] = {}
+        self.arrivals = array("d")
+        self.departures = array("d")  # NaN encodes an unknown departure
+        self.sizes = array("d")
+        self.uids = array("q")
+
+    def persistent_id(self, obj):
+        if type(obj) is Item:
+            key = (obj.arrival, obj.departure, obj.size, obj.uid)
+            row = self._rows.get(key)
+            if row is None:
+                row = len(self._rows)
+                self._rows[key] = row
+                self.arrivals.append(obj.arrival)
+                self.departures.append(
+                    _NAN if obj.departure is None else obj.departure
+                )
+                self.sizes.append(obj.size)
+                self.uids.append(obj.uid)
+            return row
+        return None
+
+    def columns(self) -> Tuple[array, array, array, array]:
+        return (self.arrivals, self.departures, self.sizes, self.uids)
+
+
+class _ColumnUnpickler(pickle.Unpickler):
+    """Rebuild extracted items from their columns, one object per row."""
+
+    def __init__(self, buf, columns) -> None:
+        super().__init__(buf)
+        arrivals, departures, sizes, uids = columns
+        self._items = [
+            item_view(
+                arrivals[k],
+                None if departures[k] != departures[k] else departures[k],
+                sizes[k],
+                uids[k],
+            )
+            for k in range(len(arrivals))
+        ]
+
+    def persistent_load(self, pid):
+        try:
+            return self._items[pid]
+        except (TypeError, IndexError) as exc:
+            raise CheckpointError(
+                f"checkpoint columns do not cover item row {pid!r}"
+            ) from exc
 
 
 @dataclass(frozen=True)
@@ -71,6 +149,11 @@ class Checkpoint:
     time: float
     cost_so_far: float
     blob: bytes  #: joint pickle of engine state + algorithm
+    #: v3 struct-of-arrays item columns (arrivals, departures, sizes,
+    #: uids) referenced by the blob's persistent ids; ``None`` on v2
+    columns: Optional[Tuple[array, array, array, array]] = field(
+        default=None
+    )
 
     # ------------------------------------------------------------------ #
     def dumps(self) -> bytes:
@@ -92,7 +175,7 @@ class Checkpoint:
             raise CheckpointError(
                 f"not a checkpoint payload: {type(ckpt).__name__}"
             )
-        if ckpt.version != CHECKPOINT_VERSION:
+        if ckpt.version not in COMPAT_VERSIONS:
             if ckpt.version == 1:
                 raise CheckpointError(
                     "checkpoint format v1 (pre-kernel engine state) is no "
@@ -124,13 +207,15 @@ def snapshot(engine: Engine) -> Checkpoint:
         raise SimulationError("cannot snapshot mid-placement")
     state = {name: getattr(engine, name) for name in _STATE_ATTRS}
     buf = io.BytesIO()
-    pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(state)
+    pickler = _ColumnPickler(buf, pickle.HIGHEST_PROTOCOL)
+    pickler.dump(state)
     return Checkpoint(
         version=CHECKPOINT_VERSION,
         arrivals=engine.accounting.arrivals,
         time=engine.time,
         cost_so_far=engine.accounting.cost_at(engine.time),
         blob=buf.getvalue(),
+        columns=pickler.columns(),
     )
 
 
@@ -145,8 +230,19 @@ def restore(checkpoint: Checkpoint) -> Engine:
     :meth:`~repro.engine.loop.Engine.attach_tracer` /
     :meth:`~repro.engine.loop.Engine.attach_listener`.
     """
+    # v3 blobs reference item rows via persistent ids; v2 blobs (from
+    # before the columnar data plane) carry their items inline and
+    # unpickle with the plain loader — the upgrade path is read-only
+    columns = getattr(checkpoint, "columns", None)
     try:
-        state = pickle.loads(checkpoint.blob)
+        if columns is not None:
+            state = _ColumnUnpickler(
+                io.BytesIO(checkpoint.blob), columns
+            ).load()
+        else:
+            state = pickle.loads(checkpoint.blob)
+    except CheckpointError:
+        raise
     except Exception as exc:
         raise CheckpointError(
             "checkpoint blob is unreadable (truncated or corrupted "
@@ -162,6 +258,7 @@ def restore(checkpoint: Checkpoint) -> Engine:
         setattr(engine, name, value)
     engine._observers = []
     engine._last_opened = False
+    engine._last_item = None
     engine.tracer = None
     engine.invariants = None  # monitors, like observers, are re-attached
     kernel = engine._kernel

@@ -39,9 +39,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..core.bins import Bin, BinRecord
+from ..core.instance import Instance
 from ..core.item import Item
 from ..core.kernel import KernelListener, PlacementKernel
 from ..core.result import PackingResult
+from ..core.store import ItemStore
 from ..obs.trace import Tracer, TracingListener
 from .accounting import RunningAccounting
 from .events import ArrivalEvent, DepartureEvent, Event
@@ -148,6 +150,7 @@ class Engine:
         self.accounting = RunningAccounting(record_profile=record_profile)
         self._observers: List[Callable[[Event], None]] = []
         self._last_opened = False
+        self._last_item: Optional[Item] = None
         extra: List[KernelListener] = list(listeners)
         if tracer is not None and tracer.enabled:
             extra.append(TracingListener(tracer))
@@ -192,6 +195,15 @@ class Engine:
     def cost_so_far(self) -> float:
         """Closed usage plus open bins' usage up to the current clock."""
         return self.accounting.cost_at(self._kernel.time)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether the kernel maintains its O(log n) open-bin index."""
+        return self._kernel.indexed
+
+    def set_indexed(self, flag: bool) -> None:
+        """Switch the kernel's open-bin index on or off (see the kernel)."""
+        self._kernel.set_indexed(flag)
 
     def is_open(self, uid: int) -> bool:
         """Whether bin ``uid`` is currently open (O(1))."""
@@ -280,6 +292,7 @@ class Engine:
     def on_arrival(self, item: Item, bin_: Bin, opened: bool) -> None:
         self.accounting.on_arrival(item.size)
         self._last_opened = opened
+        self._last_item = item
 
     def on_departure(
         self,
@@ -351,6 +364,65 @@ class Engine:
             )
         return bin_
 
+    def feed_values(
+        self,
+        arrival: float,
+        departure: Optional[float],
+        size: float,
+        uid: int,
+    ) -> Bin:
+        """Columnar :meth:`feed`: one arrival from plain scalars.
+
+        Identical semantics and accounting; the kernel builds the single
+        boxed view itself (store rows are pre-validated), so the serve
+        shards and the chunked replay path never allocate caller-side
+        :class:`Item` objects.
+        """
+        t0 = _time.perf_counter() if self.metrics is not None else 0.0
+        self._last_opened = False
+        bin_ = self._kernel.release_values(arrival, departure, size, uid)
+        if self.metrics is not None:
+            capacity = bin_.capacity
+            self.metrics.on_arrival(
+                _time.perf_counter() - t0,
+                opened=self._last_opened,
+                residual=bin_.residual() / capacity if capacity else 0.0,
+                open_bins=self._kernel.open_bin_count,
+            )
+        if self._observers:
+            self._emit(
+                ArrivalEvent(
+                    time=self._kernel.time,
+                    seq=self.accounting.arrivals,
+                    item=self._last_item,
+                    bin_uid=bin_.uid,
+                    opened=self._last_opened,
+                )
+            )
+        return bin_
+
+    def feed_row(self, store: ItemStore, i: int) -> Bin:
+        """Feed row ``i`` of an :class:`ItemStore` (window-relative)."""
+        arrival, departure, size, uid = store.row(i)
+        return self.feed_values(arrival, departure, size, uid)
+
+    def feed_store(
+        self, store: ItemStore, start: int = 0, stop: Optional[int] = None
+    ) -> int:
+        """Feed rows ``[start, stop)`` of an :class:`ItemStore` in order.
+
+        Returns the number of rows fed.  The per-arrival work is exactly
+        :meth:`feed_values`, looped over the store's raw columns.
+        """
+        arr, dep, siz, uids, w0, w1 = store.columns()
+        lo = w0 + start
+        hi = w1 if stop is None else w0 + stop
+        feed = self.feed_values
+        for j in range(lo, hi):
+            d = dep[j]
+            feed(arr[j], d if d == d else None, siz[j], uids[j])
+        return hi - lo
+
     def depart(self, uid: int, time: float) -> None:
         """Force an adaptive item (unknown departure) out at ``time``."""
         self._kernel.depart(uid, time)
@@ -360,10 +432,28 @@ class Engine:
         self._kernel.advance_to(time)
 
     def run(self, source: ItemSource) -> EngineSummary:
-        """Drain an entire source, then :meth:`finish`."""
+        """Drain an entire source, then :meth:`finish`.
+
+        ``source`` may be an iterable of :class:`Item` objects (the
+        classic streaming path), an :class:`~repro.core.instance.
+        Instance` or :class:`~repro.core.store.ItemStore` (driven
+        columnwise, no boxed iteration), or an iterable of
+        :class:`ItemStore` chunks as produced by
+        :func:`repro.workloads.io.iter_jsonl_stores`.
+        """
+        if isinstance(source, Instance):
+            self.feed_store(source.store)
+            return self.finish()
+        if isinstance(source, ItemStore):
+            self.feed_store(source)
+            return self.finish()
         feed = self.feed
-        for item in source:
-            feed(item)
+        feed_store = self.feed_store
+        for obj in source:
+            if type(obj) is ItemStore:
+                feed_store(obj)
+            else:
+                feed(obj)
         return self.finish()
 
     def finish(self) -> EngineSummary:

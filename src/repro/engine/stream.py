@@ -21,7 +21,13 @@ from typing import Iterable, Iterator, Tuple, Union
 from ..core.errors import InvalidInstanceError, SimulationError
 from ..core.instance import Instance
 from ..core.item import Item
-from ..workloads.io import iter_jsonl
+from ..core.store import ItemStore
+from ..workloads.io import (
+    CHUNK_ROWS,
+    iter_csv_stores,
+    iter_jsonl,
+    iter_jsonl_stores,
+)
 
 __all__ = [
     "ItemSource",
@@ -32,6 +38,7 @@ __all__ = [
     "ordered",
     "merge",
     "open_trace",
+    "open_trace_stores",
     "trace_format",
 ]
 
@@ -145,4 +152,27 @@ def open_trace(
         return iter_jsonl(path)
     if fmt == "csv":
         return iter_csv(path)
+    raise InvalidInstanceError(f"unknown trace format {format!r}")
+
+
+def open_trace_stores(
+    path: Union[str, pathlib.Path],
+    *,
+    format: str = "auto",
+    chunk_rows: int = CHUNK_ROWS,
+) -> Iterator[ItemStore]:
+    """A trace file as bounded columnar chunks (the fast replay path).
+
+    Yields root :class:`~repro.core.store.ItemStore` chunks of at most
+    ``chunk_rows`` rows with sequential uids, exactly the items
+    :func:`open_trace` would yield — but decoded straight into columns,
+    so the engine can drain them via
+    :meth:`~repro.engine.loop.Engine.feed_store` without boxing one
+    :class:`Item` per arrival.
+    """
+    fmt = trace_format(path) if format == "auto" else format
+    if fmt == "jsonl":
+        return iter_jsonl_stores(path, chunk_rows=chunk_rows)
+    if fmt == "csv":
+        return iter_csv_stores(path, chunk_rows=chunk_rows)
     raise InvalidInstanceError(f"unknown trace format {format!r}")

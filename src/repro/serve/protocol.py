@@ -53,6 +53,7 @@ from typing import Optional, Union
 
 from ..core.errors import InvalidItemError
 from ..core.item import Item
+from ..core.store import validate_item_values
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -217,7 +218,9 @@ def parse_request(line: Union[str, bytes]) -> Request:
             size=_number(obj, "size", seq),
         )
         try:  # full item semantics (size in (0,1], departure > arrival, …)
-            req.to_item(0)
+            # columnar validation: same checks and messages as Item,
+            # without allocating a throwaway dataclass per request
+            validate_item_values(req.arrival, req.departure, req.size)
         except InvalidItemError as exc:
             raise ProtocolError("bad-item", str(exc), seq=seq) from exc
         return req

@@ -24,7 +24,7 @@ Lifecycle
 ---------
 :meth:`PlacementServer.run` serves until SIGTERM/SIGINT, then
 **drains**: stop accepting, flush every micro-batcher, let each shard
-work its queue dry, write one v2 checkpoint per shard (restartable with
+work its queue dry, write one checkpoint per shard (restartable with
 ``resume=True`` / ``repro-dbp serve --resume``), emit one ledger
 :class:`~repro.obs.ledger.RunRecord` for the session, and close
 connections.  A drain after ``k`` accepted arrivals loses none of them:
@@ -137,7 +137,11 @@ class PlacementServer:
             )
             if ckpt is not None and ckpt.exists():
                 shard = PlacementShard.restore(
-                    k, ckpt, max_queue=cfg.max_queue, metrics=cfg.metrics
+                    k,
+                    ckpt,
+                    max_queue=cfg.max_queue,
+                    metrics=cfg.metrics,
+                    indexed=cfg.indexed,
                 )
             else:
                 shard = PlacementShard(

@@ -35,6 +35,7 @@ from bisect import bisect_right
 from typing import List, Optional, Tuple, Union
 
 from ..core.errors import ClairvoyanceError, PackingError, SimulationError
+from ..core.store import ItemStore
 from ..engine.checkpoint import load_checkpoint, save_checkpoint
 from ..engine.loop import Engine
 from ..engine.metrics import EngineMetrics
@@ -45,6 +46,10 @@ __all__ = ["HashRing", "PlacementShard", "stable_hash"]
 
 #: sentinel that stops a shard worker (queue-ordered, after pending work)
 _STOP = object()
+
+#: decode-scratch recycling threshold, in rows (28 B each) — the bound
+#: that keeps per-shard memory independent of the request count
+_SCRATCH_ROWS = 4096
 
 
 def stable_hash(key: str) -> int:
@@ -136,6 +141,10 @@ class PlacementShard:
         self.accepted = 0  # arrive requests committed into the kernel
         self.rejected = 0  # requests answered with a structured error
         self._adaptive_uids: dict[str, int] = {}  # live unknown-departure ids
+        #: columnar decode buffer: arrive payloads land here as store
+        #: rows (validated once, no boxed Item per request) before the
+        #: engine reads them off; recycled so memory stays O(1)
+        self._scratch = ItemStore()
         self._task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------ #
@@ -201,19 +210,24 @@ class PlacementShard:
                 seq=req.seq, id=req.id, shard=self.shard_id,
             )
         uid = self.engine.accounting.arrivals  # sequential per shard
-        item = req.to_item(uid)
+        scratch = self._scratch
+        if len(scratch) >= _SCRATCH_ROWS:
+            scratch.clear()
+        row = scratch.append(req.arrival, req.departure, req.size, uid)
         t0 = _time.perf_counter()
         try:
-            bin_ = self.engine.feed(item)
+            bin_ = self.engine.feed_row(scratch, row)
         except ClairvoyanceError as exc:
             # an adaptive item needs a non-clairvoyant algorithm — a
             # client mistake, not a server fault
+            scratch.pop()  # the row never reached the kernel
             self.rejected += 1
             return error_reply(
                 "bad-item", str(exc),
                 seq=req.seq, id=req.id, shard=self.shard_id,
             )
         except SimulationError as exc:
+            scratch.pop()
             self.rejected += 1
             return error_reply(
                 "out-of-order", str(exc),
@@ -281,6 +295,7 @@ class PlacementShard:
         acc = self.engine.accounting
         return {
             "shard": self.shard_id,
+            "indexed": self.engine.indexed,
             "items": acc.arrivals,
             "departures": acc.departures,
             "open_bins": self.engine.open_bin_count,
@@ -320,16 +335,22 @@ class PlacementShard:
         *,
         max_queue: int = 1024,
         metrics: bool = True,
+        indexed: Optional[bool] = None,
     ) -> "PlacementShard":
         """Rebuild a shard from :meth:`checkpoint` output.
 
-        The engine (kernel + algorithm, mid-stream) comes from the v2
-        checkpoint; the adaptive-id map and accept/reject counters come
-        from the sidecar.  The restored shard's decision stream
-        continues bit-for-bit from where the snapshot was taken.
+        The engine (kernel + algorithm, mid-stream) comes from the
+        checkpoint (v3, or a pre-columnar v2 file); the adaptive-id map
+        and accept/reject counters come from the sidecar.  The restored
+        shard's decision stream continues bit-for-bit from where the
+        snapshot was taken.  ``indexed`` (when not ``None``) overrides
+        the checkpointed run's open-bin index setting — how the server's
+        ``--no-index`` flag survives a ``--resume``.
         """
         path = pathlib.Path(path)
         engine = load_checkpoint(path)
+        if indexed is not None:
+            engine.set_indexed(indexed)
         shard = cls(
             shard_id,
             None,

@@ -1,6 +1,9 @@
 """Checkpoint/restore: a resumed run must be indistinguishable from an
 uninterrupted one — same final cost, bins, and assignment."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.algorithms import CDFF, FirstFit, HybridAlgorithm, NextFit
@@ -96,7 +99,7 @@ def test_checkpoint_metadata():
     ckpt = snapshot(eng)
     assert ckpt.time == eng.time
     assert ckpt.cost_so_far == pytest.approx(eng.cost_so_far)
-    assert ckpt.version == CHECKPOINT_VERSION == 2
+    assert ckpt.version == CHECKPOINT_VERSION == 3
 
 
 def test_reject_wrong_payload(tmp_path):
@@ -240,3 +243,65 @@ class TestResumePreservesObsCounters:
         # snapshot/restore boundary
         assert a["counters"] == b["counters"]
         assert a["histograms"] == b["histograms"]
+
+
+class TestV2Compat:
+    """v2 checkpoints (boxed-item blobs, no column table) stay loadable.
+
+    The fixture was written by the pre-columnar engine: FirstFit fed the
+    first 400 items of ``examples/traces/uniform_1k.jsonl``, snapshotted
+    at checkpoint version 2.  ``checkpoint_v2_expected.json`` freezes
+    the metadata at the cut and the final cost of the uninterrupted run.
+    """
+
+    DATA = pathlib.Path(__file__).parent / "data"
+    TRACE = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "examples"
+        / "traces"
+        / "uniform_1k.jsonl"
+    )
+
+    @pytest.fixture()
+    def expected(self):
+        return json.loads(
+            (self.DATA / "checkpoint_v2_expected.json").read_text()
+        )
+
+    def _resume(self, engine, skip):
+        from repro.workloads.io import iter_jsonl
+
+        for i, item in enumerate(iter_jsonl(self.TRACE)):
+            if i >= skip:
+                engine.feed(item)
+
+    def test_v2_restores_with_identical_metadata(self, expected):
+        ckpt = Checkpoint.load(self.DATA / "checkpoint_v2_firstfit.ckpt")
+        assert ckpt.version == 2
+        assert ckpt.columns is None  # v2 blobs carry boxed items
+        assert ckpt.arrivals == expected["arrivals"]
+        eng = restore(ckpt)
+        assert eng.time == pytest.approx(expected["time"])
+        assert eng.cost_so_far == pytest.approx(expected["cost_so_far"])
+
+    def test_v2_resume_reaches_frozen_final_cost(self, expected):
+        eng = load_checkpoint(self.DATA / "checkpoint_v2_firstfit.ckpt")
+        self._resume(eng, expected["arrivals"])
+        summary = eng.finish()
+        assert summary.cost == pytest.approx(expected["final_cost"])
+        assert summary.bins_opened == expected["bins_opened"]
+        assert summary.max_open == expected["max_open"]
+
+    def test_v2_resaves_as_v3_and_round_trips(self, tmp_path, expected):
+        eng = load_checkpoint(self.DATA / "checkpoint_v2_firstfit.ckpt")
+        upgraded_path = tmp_path / "upgraded.ckpt"
+        upgraded = save_checkpoint(eng, upgraded_path)
+        assert upgraded.version == CHECKPOINT_VERSION == 3
+        assert upgraded.columns is not None  # item rows now columnar
+
+        eng2 = load_checkpoint(upgraded_path)
+        self._resume(eng, expected["arrivals"])
+        self._resume(eng2, expected["arrivals"])
+        s1, s2 = eng.finish(), eng2.finish()
+        assert s1.cost == s2.cost == pytest.approx(expected["final_cost"])
+        assert s1.bins_opened == s2.bins_opened

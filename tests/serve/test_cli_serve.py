@@ -145,3 +145,46 @@ class TestLoadgenCli:
         result = loadgen(free_port, "-n", "5")
         assert result.returncode == 1
         assert "loadgen:" in result.stderr
+
+
+class TestNoIndexPropagation:
+    """``--no-index`` must reach every shard's engine — fresh builds and
+    the checkpoint-restore path alike (the flag is a per-boot override,
+    not part of the frozen kernel state)."""
+
+    def test_no_index_reaches_every_shard(self, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpt")
+        proc, port, _ = start_server(
+            "-a", "BestFit", "--shards", "2", "--no-index",
+            "--checkpoint-dir", ckpt_dir,
+        )
+        try:
+            result = loadgen(port, "-n", "50", "--rate", "20000")
+            assert result.returncode == 0, result.stderr
+            stats = rpc(port, {"op": "stats"})
+            assert [s["indexed"] for s in stats["per_shard"]] == [False, False]
+        finally:
+            stop_server(proc)
+
+        # resume with --no-index: the override holds on restored engines
+        proc, port, _ = start_server(
+            "-a", "BestFit", "--shards", "2", "--no-index",
+            "--checkpoint-dir", ckpt_dir, "--resume",
+        )
+        try:
+            stats = rpc(port, {"op": "stats"})
+            assert [s["indexed"] for s in stats["per_shard"]] == [False, False]
+            assert stats["totals"]["items"] == 50  # state still restored
+        finally:
+            stop_server(proc)
+
+        # resume without the flag: restored engines index again
+        proc, port, _ = start_server(
+            "-a", "BestFit", "--shards", "2",
+            "--checkpoint-dir", ckpt_dir, "--resume",
+        )
+        try:
+            stats = rpc(port, {"op": "stats"})
+            assert [s["indexed"] for s in stats["per_shard"]] == [True, True]
+        finally:
+            stop_server(proc)
