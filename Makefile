@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report report figures table1 curves docs regress sweep serve-smoke clean all
+.PHONY: install test bench bench-report report figures table1 curves docs regress sweep serve-smoke chaos clean all
 
 install:
 	pip install -e .
@@ -51,6 +51,13 @@ sweep:
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) -m repro.serve.parity
+
+# Deterministic fault-injection sweep: 25 seeded schedules of network
+# faults, shard crashes, and checkpoint/restore cycles on a virtual
+# clock; exactly-once + decision-parity oracles must pass on each.
+# Failing plans are shrunk to replayable artifacts under .ledger/chaos/.
+chaos:
+	$(PYTHON) -m repro chaos --schedules 25 --minimize
 
 all: install test bench report
 

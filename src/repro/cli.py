@@ -14,6 +14,8 @@ Subcommands::
     repro-dbp obs summarize t.out  # aggregate a --trace JSONL by event
     repro-dbp obs diff a.json b.json        # drift between two ledger records
     repro-dbp obs regress --baseline b.json # gate a ledger against a baseline
+    repro-dbp chaos --schedules 25          # seeded fault-injection sweep
+    repro-dbp chaos --replay plan.json --minimize  # shrink a failing plan
 
 Run-producing commands (``run``/``pack``/``replay``) write one JSON
 provenance record per run into the ledger directory (``--ledger-dir``,
@@ -361,6 +363,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-workloads", action="store_true",
         help="print registered workload names and exit",
     )
+    chaosp = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection runs of the placement service",
+        description="Deterministic fault-injection testing: run "
+        "FaultPlan schedules against an in-process "
+        "placement server on a virtual clock (no sockets, no wall-clock "
+        "sleeps): seeded network faults, shard crashes, checkpoint/"
+        "restore cycles.  After healing, oracles check exactly-once "
+        "delivery and bit-identical decision/cost parity against batch "
+        "simulate().  Failing plans can be shrunk to a minimal "
+        "replayable artifact under <ledger>/chaos/.",
+    )
+    chaosp.add_argument(
+        "--seed", type=int, default=0,
+        help="first (or only) schedule seed (default 0)",
+    )
+    chaosp.add_argument(
+        "--schedules", type=int, default=0, metavar="N",
+        help="sweep N generated schedules starting at --seed",
+    )
+    chaosp.add_argument(
+        "--replay", metavar="PLAN.json",
+        help="replay a FaultPlan JSON or a chaos-failure artifact "
+        "(runs its minimized plan)",
+    )
+    chaosp.add_argument(
+        "--minimize", action="store_true",
+        help="on failure, shrink the plan and write a replayable "
+        "artifact under <ledger>/chaos/",
+    )
+    chaosp.add_argument(
+        "--dedup-off", action="store_true",
+        help="bug injection: disable the shards' idempotence cache "
+        "(lost-ack retries double-apply; the oracle must catch it)",
+    )
+    chaosp.add_argument(
+        "--json", metavar="OUT.json", help="also write reports as JSON"
+    )
+    _add_ledger_flags(chaosp)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -390,6 +431,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _serve(args)
     if args.command == "loadgen":
         return _loadgen(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "run":
         return _run(
             args.ids, profile=args.profile, ledger_dir=_ledger_dir(args)
@@ -794,6 +837,67 @@ def _loadgen(args) -> int:
             fh.write("\n")
         print(f"report written to {args.json}")
     return 0
+
+
+def _chaos(args) -> int:
+    import json as _json
+
+    from .testkit import (
+        FaultPlan,
+        generate_plan,
+        minimize,
+        run_chaos,
+        write_artifact,
+    )
+
+    overrides = {"disable_dedup": True} if args.dedup_off else {}
+    if args.replay:
+        try:
+            with open(args.replay) as fh:
+                obj = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"chaos: cannot read {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 1
+        # a failure artifact carries both plans; replay the minimal one
+        if "minimized_plan" in obj:
+            obj = obj["minimized_plan"]
+        elif "plan" in obj:
+            obj = obj["plan"]
+        plans = [FaultPlan.from_dict(obj)]
+        for key, value in overrides.items():
+            setattr(plans[0], key, value)
+    else:
+        seeds = range(args.seed, args.seed + max(1, args.schedules))
+        plans = [generate_plan(seed, **overrides) for seed in seeds]
+
+    failed = 0
+    results = []
+    for plan in plans:
+        report = run_chaos(plan)
+        print(report.summary())
+        results.append(report.to_dict())
+        if report.ok:
+            continue
+        failed += 1
+        if args.minimize:
+            minimal, min_fails, trials = minimize(plan, log=print)
+            path = write_artifact(
+                plan,
+                minimal,
+                report.failures,
+                ledger_dir=getattr(args, "ledger_dir", None),
+                minimized_failures=min_fails,
+                trials=trials,
+            )
+            print(f"minimized after {trials} trial(s) -> {path}")
+    print(f"chaos: {len(plans) - failed}/{len(plans)} schedule(s) passed")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"reports written to {args.json}")
+    return 1 if failed else 0
 
 
 def _obs(args) -> int:

@@ -13,13 +13,17 @@ it was freshly opened) as replies.  The moving pieces:
   arrivals (flush on size or age);
 - :mod:`repro.serve.server` — the daemon: backpressure, graceful
   drain with per-shard v2 checkpoints, obs/ledger integration;
+- :mod:`repro.serve.transport` — the network seam: real TCP by
+  default, or the chaos harness's simulated fault-injecting net
+  (:mod:`repro.testkit`);
 - :mod:`repro.serve.client` — a pipelined async client;
 - :mod:`repro.serve.loadgen` — an open-loop load generator with
   latency percentiles;
 - :mod:`repro.serve.parity` — the correctness anchor: a single-shard
   server's decisions are bit-identical to batch ``simulate()``.
 
-See ``docs/serving.md`` for the protocol spec and lifecycle.
+See ``docs/serving.md`` for the protocol spec and lifecycle, and
+``docs/testing.md`` for the chaos-testing story built on these seams.
 """
 
 from .batcher import MicroBatcher
@@ -34,6 +38,7 @@ from .protocol import (
     ERROR_CODES,
     OPS,
     PROTOCOL_VERSION,
+    RETRYABLE_ERROR_CODES,
     ProtocolError,
     Request,
     error_reply,
@@ -42,11 +47,13 @@ from .protocol import (
 )
 from .server import PlacementServer, ServeConfig
 from .shard import HashRing, PlacementShard, stable_hash
+from .transport import TcpTransport, Transport
 
 __all__ = [
     "ERROR_CODES",
     "OPS",
     "PROTOCOL_VERSION",
+    "RETRYABLE_ERROR_CODES",
     "HashRing",
     "LoadReport",
     "MicroBatcher",
@@ -57,6 +64,8 @@ __all__ = [
     "Request",
     "ServeConfig",
     "ServiceParityReport",
+    "TcpTransport",
+    "Transport",
     "WORKLOADS",
     "check_service_parity",
     "error_reply",

@@ -44,26 +44,43 @@ class PlacementClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, timeout: float = 5.0
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        transport=None,
     ) -> "PlacementClient":
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout
-        )
+        """Open a connection (over ``transport``, TCP when ``None``)."""
+        if transport is None:
+            opening = asyncio.open_connection(host, port)
+        else:
+            opening = transport.open_connection(host, port)
+        reader, writer = await asyncio.wait_for(opening, timeout)
         return cls(reader, writer)
 
     # ------------------------------------------------------------------ #
     # Pipelined core
     # ------------------------------------------------------------------ #
-    def submit(self, request: dict) -> "asyncio.Future[dict]":
+    def submit(self, request: dict, *, seq=None) -> "asyncio.Future[dict]":
         """Send one request now; resolve to its reply later.
 
-        A ``seq`` is assigned automatically (any caller-supplied value
-        is overwritten — correlation bookkeeping owns that field).
+        A ``seq`` is assigned automatically (any value inside
+        ``request`` is overwritten — correlation bookkeeping owns that
+        field).  Passing ``seq=`` pins it instead: retry loops need the
+        *same* seq on every resend of a request so the server's
+        ``(client, seq)`` dedup key stays stable.  A resend replaces the
+        previous future for that seq; the latest one gets the reply.
         """
         if self._closing:
             raise ConnectionError("client is closed")
-        self._seq += 1
-        seq = self._seq
+        if self._reader_task.done():
+            # the reply stream ended (peer closed or reset); writing more
+            # would dead-letter the request — fail fast so callers reconnect
+            raise ConnectionError("connection closed by peer")
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
         request = dict(request, seq=seq)
         future = asyncio.get_running_loop().create_future()
         self._inflight[seq] = future
@@ -73,7 +90,11 @@ class PlacementClient:
     async def request(self, request: dict) -> dict:
         """Send one request and await its reply."""
         future = self.submit(request)
-        await self._writer.drain()
+        try:
+            await self._writer.drain()
+        except BaseException:
+            future.cancel()  # nobody will await it; don't leak its error
+            raise
         return await future
 
     async def _read_replies(self) -> None:

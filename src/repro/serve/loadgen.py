@@ -249,6 +249,18 @@ async def run_loadgen(
         def _record(fut: asyncio.Future) -> None:
             nonlocal ok
             latencies.append(_time.perf_counter() - sent_at)
+            # a future may hold an exception (connection died mid-run)
+            # instead of a reply; .result() would raise *inside* this
+            # done-callback, which asyncio logs and swallows — the
+            # failure must land in the error breakdown, not vanish
+            exc = (
+                fut.exception() if not fut.cancelled()
+                else asyncio.CancelledError()
+            )
+            if exc is not None:
+                code = f"exception:{type(exc).__name__}"
+                error_codes[code] = error_codes.get(code, 0) + 1
+                return
             reply = fut.result()
             if reply.get("ok"):
                 ok += 1
@@ -285,7 +297,9 @@ async def run_loadgen(
                 )
             )
             await client.drain_writes()
-        await asyncio.gather(*waiters)
+        # exceptions are already tallied by _record; re-raising here
+        # would abort the other senders and lose the report
+        await asyncio.gather(*waiters, return_exceptions=True)
 
     # cyclic GC off for the measurement window: a gen-2 pause in the
     # *generator* process stalls every in-flight request at once and

@@ -59,6 +59,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "OPS",
     "ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
     "ProtocolError",
     "Request",
     "parse_request",
@@ -84,9 +85,14 @@ ERROR_CODES = (
     "unknown-item",  # depart for an id this shard does not hold
     "duplicate-id",  # adaptive arrive reusing a live id
     "overloaded",    # shard queue full — back off and retry
+    "unavailable",   # shard crashed/restarting — back off and retry
     "draining",      # server is shutting down, no new work
     "internal",      # unexpected server-side failure
 )
+
+#: error codes a well-behaved client may retry (with backoff); all other
+#: codes describe the request itself and will fail identically on resend
+RETRYABLE_ERROR_CODES = frozenset({"overloaded", "unavailable"})
 
 
 class ProtocolError(Exception):
@@ -117,6 +123,18 @@ class Request:
     departure: Optional[float] = None
     size: Optional[float] = None
     time: Optional[float] = None
+    #: stable client identity for at-most-once retry dedup: an
+    #: ``arrive``/``depart`` carrying both ``client`` and ``seq`` is
+    #: applied exactly once per ``(client, seq)`` — a resend of an
+    #: already-applied request returns the original reply verbatim
+    client: Optional[str] = None
+
+    @property
+    def dedup_key(self) -> Optional[tuple]:
+        """The idempotency key, or ``None`` when dedup is not requested."""
+        if self.client is None or self.seq is None:
+            return None
+        return (self.client, self.seq)
 
     @property
     def routing_key(self) -> str:
@@ -207,6 +225,7 @@ def parse_request(line: Union[str, bytes]) -> Request:
             seq=seq,
         )
     tenant = _ident(obj, "tenant", seq, required=False)
+    client = _ident(obj, "client", seq, required=False)
     if op == "arrive":
         req = Request(
             op=op,
@@ -216,6 +235,7 @@ def parse_request(line: Union[str, bytes]) -> Request:
             arrival=_number(obj, "arrival", seq),
             departure=_number(obj, "departure", seq, required=False),
             size=_number(obj, "size", seq),
+            client=client,
         )
         try:  # full item semantics (size in (0,1], departure > arrival, …)
             # columnar validation: same checks and messages as Item,
@@ -231,6 +251,7 @@ def parse_request(line: Union[str, bytes]) -> Request:
             id=_ident(obj, "id", seq, required=True),
             tenant=tenant,
             time=_number(obj, "time", seq),
+            client=client,
         )
     if op == "advance":
         return Request(op=op, seq=seq, time=_number(obj, "time", seq))

@@ -38,11 +38,12 @@ import pathlib
 import signal
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from ..engine.metrics import EngineMetrics
 from ..obs.metrics import LATENCY_EDGES, Histogram
 from .batcher import MicroBatcher
+from .transport import ServerHandle, TcpTransport, Transport
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -97,10 +98,26 @@ class PlacementServer:
     Construct with a :class:`ServeConfig`, then either ``await start()``
     and drive it from tests (``await drain()`` when done), or call
     :meth:`run` to serve until a termination signal.
+
+    ``transport`` and ``clock`` are the simulation seams: the default
+    (:class:`~repro.serve.transport.TcpTransport`,
+    :func:`time.perf_counter`) is production behaviour; the chaos
+    harness substitutes an in-process fault-injecting network and the
+    virtual loop clock so whole failure schedules replay byte-for-byte.
     """
 
-    def __init__(self, config: ServeConfig, *, registry=None) -> None:
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        registry=None,
+        transport: Optional[Transport] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.config = config
+        self.transport = transport if transport is not None else TcpTransport()
+        self._now = clock if clock is not None else _time.perf_counter
+        self._shard_clock = clock
         if registry is None:
             from ..parallel import _registry
 
@@ -120,7 +137,7 @@ class PlacementServer:
         self.draining = False
         self.drained = asyncio.Event()
         self.started_at: Optional[float] = None
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._server: Optional[ServerHandle] = None
         self._connections: set[_Connection] = set()
         self._drain_task: Optional[asyncio.Task] = None
 
@@ -142,6 +159,7 @@ class PlacementServer:
                     max_queue=cfg.max_queue,
                     metrics=cfg.metrics,
                     indexed=cfg.indexed,
+                    clock=self._shard_clock,
                 )
             else:
                 shard = PlacementShard(
@@ -151,6 +169,7 @@ class PlacementServer:
                     indexed=cfg.indexed,
                     max_queue=cfg.max_queue,
                     metrics=cfg.metrics,
+                    clock=self._shard_clock,
                 )
             self.shards.append(shard)
             self.batchers.append(
@@ -166,6 +185,12 @@ class PlacementServer:
             # simultaneous arrivals: stable sort by arrival inside the
             # micro-batch mirrors Instance order (ties keep submit order)
             batch.sort(key=lambda job: job[0].arrival)
+            if shard.crashed:
+                # the shard fail-stopped while this batch aged in the
+                # batcher: nobody will drain the queue, so answer here
+                for req, future, _ in batch:
+                    shard._fail_future(req, future)
+                return
             await shard.queue.put(batch)
 
         return sink
@@ -176,17 +201,17 @@ class PlacementServer:
             self._build_shards()
         for shard in self.shards:
             shard.start()
-        self._server = await asyncio.start_server(
+        self._server = await self.transport.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
-        self.started_at = _time.perf_counter()
+        self.started_at = self._now()
 
     @property
     def port(self) -> int:
         """The bound port (useful with ``port=0``)."""
         if self._server is None:
             raise RuntimeError("server not started")
-        return self._server.sockets[0].getsockname()[1]
+        return self._server.port
 
     async def run(self) -> None:
         """Serve until SIGTERM/SIGINT, then drain — the CLI entry point."""
@@ -217,6 +242,11 @@ class PlacementServer:
         for batcher in self.batchers:
             await batcher.aclose()
         for shard in self.shards:
+            if shard.crashed:
+                # no worker to drain this queue — fail it so join() and
+                # in-flight futures resolve instead of hanging the drain
+                shard._fail_queue()
+        for shard in self.shards:
             await shard.queue.join()
         for shard in self.shards:
             await shard.stop()
@@ -239,7 +269,7 @@ class PlacementServer:
 
         cfg = self.config
         wall = (
-            _time.perf_counter() - self.started_at
+            self._now() - self.started_at
             if self.started_at is not None
             else None
         )
@@ -324,7 +354,7 @@ class PlacementServer:
                 pass
 
     async def _dispatch(self, line: bytes, conn: _Connection) -> None:
-        t_recv = _time.perf_counter()
+        t_recv = self._now()
         try:
             req = parse_request(line)
         except ProtocolError as exc:
@@ -354,6 +384,17 @@ class PlacementServer:
             return
         shard_id = self.ring.shard_for(req.routing_key)
         shard = self.shards[shard_id]
+        if shard.crashed:
+            self._count_error("unavailable")
+            conn.out.put_nowait(
+                error_reply(
+                    "unavailable",
+                    f"shard {shard_id} is down — retry after recovery",
+                    seq=req.seq,
+                    retry_after=self._retry_after(shard),
+                )
+            )
+            return
         if shard.queue.full():
             self._count_error("overloaded")
             conn.out.put_nowait(
@@ -391,15 +432,30 @@ class PlacementServer:
         self, req: Request, conn: _Connection
     ) -> None:
         """Advance every shard's clock; reply once all have moved."""
+        down = [s.shard_id for s in self.shards if s.crashed]
+        if down:
+            # advance is all-or-nothing: with a shard down the broadcast
+            # cannot complete, so tell the client to retry after recovery
+            # (advance_to is idempotent at equal time, so resends are safe)
+            self._count_error("unavailable")
+            conn.out.put_nowait(
+                error_reply(
+                    "unavailable",
+                    f"shards {down} are down — retry after recovery",
+                    seq=req.seq,
+                )
+            )
+            return
         futures = []
         for shard_id, shard in enumerate(self.shards):
             await self.batchers[shard_id].flush()
+            advance = Request(op="advance", seq=req.seq, time=req.time)
             fut = asyncio.get_running_loop().create_future()
             futures.append(fut)
-            await shard.queue.put(
-                [(Request(op="advance", seq=req.seq, time=req.time),
-                  fut, None)]
-            )
+            if shard.crashed:  # fail-stopped while we awaited the flush
+                shard._fail_future(advance, fut)
+            else:
+                await shard.queue.put([(advance, fut, None)])
         replies = await asyncio.gather(*futures)
         bad = next((r for r in replies if not r.get("ok")), None)
         if bad is not None:

@@ -32,11 +32,17 @@ import json
 import pathlib
 import time as _time
 from bisect import bisect_right
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..core.errors import ClairvoyanceError, PackingError, SimulationError
 from ..core.store import ItemStore
-from ..engine.checkpoint import load_checkpoint, save_checkpoint
+from ..engine.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore as restore_engine,
+    save_checkpoint,
+    snapshot,
+)
 from ..engine.loop import Engine
 from ..engine.metrics import EngineMetrics
 from ..obs.metrics import LATENCY_EDGES, Histogram
@@ -50,6 +56,10 @@ _STOP = object()
 #: decode-scratch recycling threshold, in rows (28 B each) — the bound
 #: that keeps per-shard memory independent of the request count
 _SCRATCH_ROWS = 4096
+
+#: bound of the ``(client, seq) → reply`` retry-dedup cache, in entries
+#: (FIFO eviction; must exceed any client's in-flight × retry window)
+_DEDUP_CAP = 65536
 
 
 def stable_hash(key: str) -> int:
@@ -110,6 +120,10 @@ class PlacementShard:
     metrics:
         Attach an :class:`~repro.engine.metrics.EngineMetrics` (kernel
         latency/residual/occupancy histograms; mergeable across shards).
+    clock:
+        Monotonic-seconds source for latency capture (defaults to
+        :func:`time.perf_counter`).  The chaos harness passes the
+        simulation loop's virtual clock so replies are deterministic.
     """
 
     def __init__(
@@ -122,6 +136,7 @@ class PlacementShard:
         max_queue: int = 1024,
         metrics: bool = True,
         engine: Optional[Engine] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.shard_id = shard_id
         if engine is not None:
@@ -146,6 +161,20 @@ class PlacementShard:
         #: engine reads them off; recycled so memory stays O(1)
         self._scratch = ItemStore()
         self._task: Optional[asyncio.Task] = None
+        self._now = clock if clock is not None else _time.perf_counter
+        #: at-most-once retry dedup: ``(client, seq) → ok reply``.  The
+        #: ``dedup_enabled`` switch is a deliberate bug-injection seam —
+        #: the chaos harness flips it off to prove the exactly-once
+        #: oracle catches double-applies.
+        self.dedup_enabled = True
+        self._applied: dict[tuple, dict] = {}
+        #: fail-stop state (testkit seam): a crashed shard answers
+        #: nothing until :meth:`recover` rebuilds it from the durable
+        #: image captured at the crash instant (ack ⇒ durable)
+        self.crashed = False
+        self._durable: Optional[dict] = None
+        self._stall_until: Optional[float] = None
+        self._crash_after_applies: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -161,6 +190,9 @@ class PlacementShard:
         """Process everything already queued, then stop the worker."""
         if self._task is None:
             return
+        if self.crashed or self._task.done():
+            self._task = None
+            return
         await self.queue.put(_STOP)
         await self._task
         self._task = None
@@ -171,35 +203,180 @@ class PlacementShard:
             try:
                 if job is _STOP:
                     return
+                try:
+                    await self._maybe_stall()
+                except asyncio.CancelledError:
+                    # fail-stopped while parked: this job is already out
+                    # of the queue, so _fail_queue() cannot see it — its
+                    # futures must still be answered or their waiters
+                    # (and the connection's drain) hang forever
+                    for req, future, _ in job:
+                        self._fail_future(req, future)
+                    raise
                 for req, future, t_recv in job:
+                    if self.crashed:  # fail-stopped mid-batch
+                        self._fail_future(req, future)
+                        continue
                     reply = self.apply(req)
                     if t_recv is not None:
                         reply.setdefault("shard", self.shard_id)
-                        self.request_latency.observe(
-                            _time.perf_counter() - t_recv
-                        )
+                        self.request_latency.observe(self._now() - t_recv)
                     if not future.done():
                         future.set_result(reply)
+                    if self._crash_after_applies is not None:
+                        self._crash_after_applies -= 1
+                        if self._crash_after_applies <= 0:
+                            self._crash_after_applies = None
+                            self._do_crash()
             finally:
                 self.queue.task_done()
+            if self.crashed:
+                self._task = None
+                return
+
+    async def _maybe_stall(self) -> None:
+        # overload-window fault: park the worker so the queue backs up
+        # and the server's bounded-queue backpressure kicks in
+        while self._stall_until is not None:
+            delay = self._stall_until - asyncio.get_running_loop().time()
+            if delay <= 0:
+                self._stall_until = None
+                return
+            await asyncio.sleep(delay)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (testkit seams — inert in production)
+    # ------------------------------------------------------------------ #
+    def crash(self) -> None:
+        """Fail-stop this shard *now*, keeping only the durable image.
+
+        ``ack ⇒ durable``: the image is captured at the crash instant,
+        so every request the shard has already applied (and therefore
+        may have acknowledged) survives.  Everything still queued is
+        answered ``unavailable`` — the client's cue to retry, which the
+        ``(client, seq)`` dedup cache makes safe.
+        """
+        if self.crashed:
+            return
+        self._do_crash()
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def crash_after(self, applies: int) -> None:
+        """Arm a fail-stop after ``applies`` more applied requests.
+
+        Crashing from *inside* the worker's batch loop is how the
+        harness hits the mid-batch window that an externally scheduled
+        :meth:`crash` (which runs between event-loop steps) cannot.
+        """
+        self._crash_after_applies = max(1, int(applies))
+
+    def stall(self, until: float) -> None:
+        """Pause the worker until loop time ``until`` (overload window)."""
+        current = self._stall_until
+        self._stall_until = until if current is None else max(current, until)
+
+    def durable_image(self) -> dict:
+        """This shard's durable state, as ``{"engine": bytes, "meta": …}``."""
+        return {
+            "engine": snapshot(self.engine).dumps(),
+            "meta": self._meta(),
+        }
+
+    def recover(self, image: Optional[dict] = None) -> None:
+        """Rebuild from a durable image and restart the worker.
+
+        With no ``image``, recovers from the one captured by the last
+        :meth:`crash` — the fail-stop/restart cycle of the chaos plans.
+        """
+        if not self.crashed:
+            return
+        if image is None:
+            image = self._durable
+        if image is None:
+            raise SimulationError(
+                f"shard {self.shard_id} crashed with no durable image"
+            )
+        self.engine = restore_engine(Checkpoint.loads(image["engine"]))
+        meta = image["meta"]
+        self.accepted = int(meta.get("accepted", 0))
+        self.rejected = int(meta.get("rejected", 0))
+        self._adaptive_uids = {
+            str(k): int(v)
+            for k, v in (meta.get("adaptive_uids") or {}).items()
+        }
+        self._applied = {
+            (client, seq): reply
+            for client, seq, reply in (meta.get("applied") or [])
+        }
+        self._scratch = ItemStore()
+        self._durable = None
+        self.crashed = False
+        self._task = None
+        self.start()
+
+    def _do_crash(self) -> None:
+        self._durable = self.durable_image()
+        self.crashed = True
+        self._fail_queue()
+
+    def _fail_queue(self) -> None:
+        """Answer everything queued with ``unavailable`` (crash/drain)."""
+        while True:
+            try:
+                job = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            try:
+                if job is not _STOP:
+                    for req, future, _ in job:
+                        self._fail_future(req, future)
+            finally:
+                self.queue.task_done()
+
+    def _fail_future(self, req: Request, future: asyncio.Future) -> None:
+        if not future.done():
+            future.set_result(error_reply(
+                "unavailable",
+                f"shard {self.shard_id} is down — retry after recovery",
+                seq=req.seq, shard=self.shard_id,
+            ))
 
     # ------------------------------------------------------------------ #
     # Request execution (synchronous — the kernel is pure computation)
     # ------------------------------------------------------------------ #
     def apply(self, req: Request) -> dict:
-        """Execute one request against the kernel; always returns a reply."""
+        """Execute one request against the kernel; always returns a reply.
+
+        Requests carrying a ``(client, seq)`` idempotency key are applied
+        **at most once**: a resend of an already-applied request returns
+        the original ok reply verbatim instead of touching the kernel,
+        which is what makes client retries after lost acks safe.
+        """
+        key = req.dedup_key if self.dedup_enabled else None
+        if key is not None:
+            cached = self._applied.get(key)
+            if cached is not None:
+                return cached
         try:
             if req.op == "arrive":
-                return self._arrive(req)
-            if req.op == "depart":
-                return self._depart(req)
-            if req.op == "advance":
-                return self._advance(req)
-            raise PackingError(f"op {req.op!r} is not a shard op")
+                reply = self._arrive(req)
+            elif req.op == "depart":
+                reply = self._depart(req)
+            elif req.op == "advance":
+                reply = self._advance(req)
+            else:
+                raise PackingError(f"op {req.op!r} is not a shard op")
         except Exception as exc:  # a bad request must never kill the worker
             self.rejected += 1
             return error_reply("internal", f"{type(exc).__name__}: {exc}",
                                seq=req.seq, shard=self.shard_id)
+        if key is not None and reply.get("ok", False):
+            if len(self._applied) >= _DEDUP_CAP:  # FIFO eviction
+                self._applied.pop(next(iter(self._applied)))
+            self._applied[key] = reply
+        return reply
 
     def _arrive(self, req: Request) -> dict:
         if req.departure is None and req.id in self._adaptive_uids:
@@ -214,7 +391,7 @@ class PlacementShard:
         if len(scratch) >= _SCRATCH_ROWS:
             scratch.clear()
         row = scratch.append(req.arrival, req.departure, req.size, uid)
-        t0 = _time.perf_counter()
+        t0 = self._now()
         try:
             bin_ = self.engine.feed_row(scratch, row)
         except ClairvoyanceError as exc:
@@ -241,10 +418,11 @@ class PlacementShard:
             "arrive",
             seq=req.seq,
             id=req.id,
+            uid=uid,  # per-shard apply order — the chaos oracle's key
             bin=bin_.uid,
             opened=self.engine._last_opened,
             shard=self.shard_id,
-            latency_us=round(1e6 * (_time.perf_counter() - t0), 3),
+            latency_us=round(1e6 * (self._now() - t0), 3),
         )
 
     def _depart(self, req: Request) -> dict:
@@ -307,23 +485,33 @@ class PlacementShard:
             "rejected": self.rejected,
             "live_adaptive": len(self._adaptive_uids),
             "queue_depth": self.queue.qsize(),
+            "crashed": self.crashed,
         }
 
     # ------------------------------------------------------------------ #
     # Checkpoint / restore (v2 engine checkpoint + service sidecar)
     # ------------------------------------------------------------------ #
+    def _meta(self) -> dict:
+        """Service-level sidecar state (JSON-serializable)."""
+        return {
+            "shard": self.shard_id,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "adaptive_uids": dict(self._adaptive_uids),
+            # dedup cache as [client, seq, reply] triples — JSON objects
+            # cannot key on tuples
+            "applied": [
+                [client, seq, reply]
+                for (client, seq), reply in self._applied.items()
+            ],
+        }
+
     def checkpoint(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Snapshot this shard to ``path`` (+ ``<path>.meta.json``)."""
         path = pathlib.Path(path)
         save_checkpoint(self.engine, path)
-        meta = {
-            "shard": self.shard_id,
-            "accepted": self.accepted,
-            "rejected": self.rejected,
-            "adaptive_uids": self._adaptive_uids,
-        }
         path.with_suffix(path.suffix + ".meta.json").write_text(
-            json.dumps(meta, sort_keys=True) + "\n"
+            json.dumps(self._meta(), sort_keys=True) + "\n"
         )
         return path
 
@@ -336,6 +524,7 @@ class PlacementShard:
         max_queue: int = 1024,
         metrics: bool = True,
         indexed: Optional[bool] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> "PlacementShard":
         """Rebuild a shard from :meth:`checkpoint` output.
 
@@ -357,6 +546,7 @@ class PlacementShard:
             engine=engine,
             max_queue=max_queue,
             metrics=metrics,
+            clock=clock,
         )
         meta_path = path.with_suffix(path.suffix + ".meta.json")
         if meta_path.exists():
@@ -366,6 +556,10 @@ class PlacementShard:
             shard._adaptive_uids = {
                 str(k): int(v)
                 for k, v in (meta.get("adaptive_uids") or {}).items()
+            }
+            shard._applied = {
+                (client, seq): reply
+                for client, seq, reply in (meta.get("applied") or [])
             }
         else:
             shard.accepted = engine.accounting.arrivals

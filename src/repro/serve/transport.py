@@ -1,0 +1,96 @@
+"""Transport seam: how the placement service reaches its byte streams.
+
+The server and client never call :func:`asyncio.start_server` /
+:func:`asyncio.open_connection` directly any more — they go through a
+*transport* object so the whole stack can run either over real TCP
+sockets (:class:`TcpTransport`, the default, behaviour-identical to the
+direct calls it replaced) or over an in-process simulated network
+(:class:`repro.testkit.simnet.SimNet`) with injected faults and a
+virtual clock.  The seam is deliberately tiny:
+
+- ``await transport.start_server(handler, host, port)`` returns a
+  :class:`ServerHandle` (``port`` / ``close()`` / ``wait_closed()``);
+- ``await transport.open_connection(host, port)`` returns the usual
+  ``(StreamReader, writer)`` pair, where the writer only needs the
+  stream-writer subset the service uses (``write``/``drain``/``close``/
+  ``wait_closed``).
+
+Anything satisfying this protocol can host the service; the chaos
+harness (:mod:`repro.testkit`) is the reason it exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Protocol, Tuple
+
+__all__ = ["ConnectionHandler", "ServerHandle", "Transport", "TcpTransport"]
+
+#: the server-side accept callback: one coroutine per connection
+ConnectionHandler = Callable[
+    [asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+class ServerHandle(Protocol):
+    """A started listener: enough surface for the server's lifecycle."""
+
+    @property
+    def port(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+    async def wait_closed(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Transport(Protocol):
+    """Opens listeners and connections (TCP or simulated)."""
+
+    async def start_server(
+        self, handler: ConnectionHandler, host: str, port: int
+    ) -> ServerHandle:  # pragma: no cover - protocol
+        ...
+
+    async def open_connection(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        ...  # pragma: no cover - protocol
+
+
+class _TcpServerHandle:
+    """Wrap :class:`asyncio.base_events.Server` in the handle protocol."""
+
+    def __init__(self, server: asyncio.base_events.Server) -> None:
+        self._server = server
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    def close(self) -> None:
+        self._server.close()
+
+    async def wait_closed(self) -> None:
+        await self._server.wait_closed()
+
+
+class TcpTransport:
+    """The production transport: plain asyncio TCP streams."""
+
+    async def start_server(
+        self, handler: ConnectionHandler, host: str, port: int
+    ) -> _TcpServerHandle:
+        return _TcpServerHandle(
+            await asyncio.start_server(handler, host, port)
+        )
+
+    async def open_connection(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(host, port)
+
+    def __repr__(self) -> str:
+        return "TcpTransport()"

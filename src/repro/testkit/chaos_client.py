@@ -1,0 +1,239 @@
+"""ChaosClient: a retrying, idempotent client that never loses an item.
+
+The client the chaos harness drives traffic with.  It is deliberately
+the *opposite* posture of :mod:`repro.serve.loadgen`'s open-loop
+generator: **closed-loop per shard** (item *k+1* is not sent until item
+*k* is settled), because per-shard submission order is the kernel's
+hard precondition and a retry racing a later item would manufacture
+``out-of-order`` rejections no real well-behaved client would see.
+
+Retry discipline (the crux of exactly-once):
+
+- every item gets a **stable** ``(client, seq)`` identity that never
+  changes across resends — the server's dedup key;
+- a reply timeout, a dead connection, or a retryable structured error
+  (``overloaded``/``unavailable``/``draining``) triggers a resend after
+  seeded-jitter exponential backoff (all on the virtual clock);
+- a resend of a request whose ack was lost hits the shard's dedup
+  cache and returns the original reply verbatim — the item is applied
+  **once**, acked **once-or-more**, lost **never**.
+
+Every acked arrive is recorded (shard, uid, bin, opened + the item's
+coordinates) — the raw material for the oracle's replay against batch
+``simulate()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..serve.client import PlacementClient
+from ..serve.loadgen import shard_affine_tenants
+from ..serve.protocol import RETRYABLE_ERROR_CODES
+
+__all__ = ["AckRecord", "ChaosClient", "ClientReport"]
+
+#: codes worth resending, from the client's point of view: the server's
+#: backpressure/crash codes plus ``draining`` (a restart in progress)
+_RETRYABLE = frozenset(RETRYABLE_ERROR_CODES) | {"draining"}
+
+
+@dataclass
+class AckRecord:
+    """One acknowledged arrive: what the server promised about an item."""
+
+    shard: int
+    uid: int  #: per-shard apply order (the oracle's sort key)
+    bin: int
+    opened: bool
+    id: str
+    arrival: float
+    departure: float
+    size: float
+    attempts: int  #: how many sends it took to land the ack
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard, "uid": self.uid, "bin": self.bin,
+            "opened": self.opened, "id": self.id, "arrival": self.arrival,
+            "departure": self.departure, "size": self.size,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class ClientReport:
+    """What the traffic phase did and saw."""
+
+    sent: int = 0  #: distinct items submitted
+    resends: int = 0  #: extra attempts beyond the first send
+    timeouts: int = 0
+    conn_errors: int = 0
+    reconnects: int = 0
+    retry_replies: int = 0  #: structured retryable errors received
+    acked: List[AckRecord] = field(default_factory=list)
+    terminal: List[dict] = field(default_factory=list)  #: unexpected refusals
+    abandoned: int = 0  #: items that exhausted max_attempts (must be 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "resends": self.resends,
+            "timeouts": self.timeouts,
+            "conn_errors": self.conn_errors,
+            "reconnects": self.reconnects,
+            "retry_replies": self.retry_replies,
+            "acked": len(self.acked),
+            "terminal": list(self.terminal),
+            "abandoned": self.abandoned,
+        }
+
+
+class ChaosClient:
+    """Drive one workload through the service under faults (see above)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        transport,
+        plan,
+        items,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.plan = plan
+        #: arrival-ordered (id, arrival, departure, size) tuples
+        self.items = items
+        self.report = ClientReport()
+        self._tenants = shard_affine_tenants(plan.shards, plan.shards)
+
+    async def run(self) -> ClientReport:
+        """Submit every item (closed-loop per shard); return the report."""
+        await asyncio.gather(
+            *(self._shard_sender(j) for j in range(self.plan.shards))
+        )
+        return self.report
+
+    # ------------------------------------------------------------------ #
+    # One closed loop per shard
+    # ------------------------------------------------------------------ #
+    async def _shard_sender(self, shard: int) -> None:
+        plan = self.plan
+        tenant = self._tenants[shard]
+        client_id = f"chaos-{shard}"
+        rng = random.Random(f"chaos-client-{plan.seed}-{shard}")
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        client: Optional[PlacementClient] = None
+        # round-robin partition keeps each shard's sub-stream
+        # nondecreasing in arrival time (items are arrival-ordered)
+        mine = self.items[shard::plan.shards]
+        for k, (item_id, arrival, departure, size) in enumerate(mine):
+            target = start + k * plan.send_gap
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            request = {
+                "op": "arrive",
+                "id": item_id,
+                "tenant": tenant,
+                "client": client_id,
+                "arrival": arrival,
+                "departure": departure,
+                "size": size,
+            }
+            seq = f"{client_id}:{k}"  # stable across resends — dedup key
+            self.report.sent += 1
+            client = await self._settle(
+                client, request, seq, shard, rng, attempts_meta=(k,)
+            )
+        if client is not None:
+            await client.aclose()
+
+    async def _settle(
+        self, client, request, seq, shard, rng, *, attempts_meta
+    ) -> Optional[PlacementClient]:
+        """Send (and resend) one request until it is settled.
+
+        Returns the (possibly replaced) connection.  "Settled" means an
+        ok reply (recorded), a terminal structured error (recorded), or
+        — pathologically — ``max_attempts`` exhausted (counted in
+        ``abandoned``; the oracle treats that as a failed run).
+        """
+        plan = self.plan
+        for attempt in range(plan.max_attempts):
+            if attempt:
+                self.report.resends += 1
+                await asyncio.sleep(self._backoff(attempt, rng))
+            if client is None:
+                client = await self._reconnect(rng)
+                if client is None:
+                    continue  # refused — back off and retry
+            future = None
+            try:
+                future = client.submit(request, seq=seq)
+                await client.drain_writes()
+                reply = await asyncio.wait_for(future, plan.timeout)
+            except asyncio.TimeoutError:
+                self.report.timeouts += 1
+                continue  # resend on the same connection, same seq
+            except (ConnectionError, asyncio.IncompleteReadError):
+                self.report.conn_errors += 1
+                if future is not None and not future.done():
+                    # drain died after submit: the future is orphaned and
+                    # will be failed by the reader — mark it retrieved
+                    future.add_done_callback(
+                        lambda f: f.cancelled() or f.exception()
+                    )
+                await client.aclose()
+                client = None
+                continue
+            if reply.get("ok"):
+                self.report.acked.append(AckRecord(
+                    shard=int(reply.get("shard", shard)),
+                    uid=int(reply["uid"]),
+                    bin=int(reply["bin"]),
+                    opened=bool(reply.get("opened", False)),
+                    id=str(request["id"]),
+                    arrival=float(request["arrival"]),
+                    departure=float(request["departure"]),
+                    size=float(request["size"]),
+                    attempts=attempt + 1,
+                ))
+                return client
+            code = reply.get("error")
+            if code in _RETRYABLE:
+                self.report.retry_replies += 1
+                retry_after = reply.get("retry_after")
+                if retry_after:
+                    await asyncio.sleep(float(retry_after))
+                continue
+            # terminal: the request itself was refused — resending would
+            # fail identically, so record it and move on
+            self.report.terminal.append(dict(reply, seq=seq))
+            return client
+        self.report.abandoned += 1
+        return client
+
+    async def _reconnect(self, rng) -> Optional[PlacementClient]:
+        try:
+            client = await PlacementClient.connect(
+                self.host, self.port,
+                timeout=self.plan.timeout, transport=self.transport,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.report.conn_errors += 1
+            return None
+        self.report.reconnects += 1
+        return client
+
+    def _backoff(self, attempt: int, rng) -> float:
+        plan = self.plan
+        base = min(plan.backoff * (2 ** (attempt - 1)), plan.backoff_cap)
+        return base * (0.5 + rng.random() / 2)  # seeded jitter

@@ -1,0 +1,118 @@
+"""Virtual-time asyncio: the event loop the chaos harness runs on.
+
+:class:`SimLoop` is a :class:`asyncio.SelectorEventLoop` whose notion
+of time is **simulated**: ``loop.time()`` returns a virtual clock that
+only moves when the loop would otherwise block.  When every task is
+waiting on a timer, the loop *jumps* the clock to the earliest deadline
+instead of sleeping — ``await asyncio.sleep(30)`` completes in
+microseconds of real time, in exactly the order the deadlines dictate.
+Everything built on the loop clock (``sleep``, ``wait_for``,
+``call_later``, the micro-batcher's age flush, the chaos schedule's
+fault times) therefore runs deterministically: same seed, same
+interleaving, byte-for-byte.
+
+Because the simulated network (:mod:`repro.testkit.simnet`) delivers
+bytes via ``call_later`` rather than file descriptors, the loop never
+needs to poll real sockets; if it ever would block with *no* timer
+pending, the simulation is genuinely stuck (every task waiting on an
+event nobody will set) and :class:`SimDeadlockError` is raised rather
+than hanging the test run.
+
+Use :func:`sim_run` — the virtual-time counterpart of
+:func:`asyncio.run` — to execute a coroutine on a fresh ``SimLoop``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Optional
+
+__all__ = ["SimDeadlockError", "SimLoop", "sim_run"]
+
+
+class SimDeadlockError(RuntimeError):
+    """The simulation blocked forever: no ready task and no timer."""
+
+
+class _SimSelector(selectors.SelectSelector):
+    """A selector that never blocks: timeouts advance the virtual clock.
+
+    The loop computes ``timeout`` as the gap to its earliest timer (or
+    ``None`` when there are no timers).  Instead of sleeping we credit
+    that gap to the owning :class:`SimLoop`'s clock and poll any real
+    file descriptors (the loop's self-pipe) without waiting.
+    """
+
+    def __init__(self, loop: "SimLoop") -> None:
+        super().__init__()
+        self._sim_loop = loop
+
+    def select(self, timeout: Optional[float] = None):
+        if timeout is None:
+            # no timer to jump to: only the self-pipe could wake us, and
+            # in-process simulations never signal across threads
+            raise SimDeadlockError(
+                "simulation deadlock: every task is blocked and no timer "
+                "is pending (a future nobody will resolve?)"
+            )
+        if timeout > 0:
+            self._sim_loop._sim_time += timeout
+        return super().select(0)
+
+
+class SimLoop(asyncio.SelectorEventLoop):
+    """An event loop on simulated time (see module docstring)."""
+
+    def __init__(self) -> None:
+        super().__init__(selector=_SimSelector(self))
+        self._sim_time = 0.0
+
+    def time(self) -> float:
+        return self._sim_time
+
+    # asyncio resolves timer handles against self.time(), so overriding
+    # time() alone is enough: call_later/call_at/sleep all inherit it.
+
+    def advance(self, delta: float) -> None:
+        """Manually move the clock (rarely needed: sleeps auto-advance)."""
+        if delta < 0:
+            raise ValueError(f"cannot rewind the clock by {delta}")
+        self._sim_time += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimLoop t={self._sim_time:.6f} running={self.is_running()}>"
+
+
+def sim_run(coro, *, loop: Optional[SimLoop] = None):
+    """Run ``coro`` to completion on a virtual-time loop.
+
+    The :func:`asyncio.run` of the testkit: creates a fresh
+    :class:`SimLoop` (or uses ``loop``), installs it as the current
+    loop, runs the coroutine, then cancels stragglers and closes the
+    loop.  Wall-clock duration is bounded by *work*, never by simulated
+    sleeps.
+    """
+    own = loop is None
+    if own:
+        loop = SimLoop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(coro)
+    finally:
+        try:
+            _cancel_pending(loop)
+        finally:
+            asyncio.set_event_loop(None)
+            if own:
+                loop.close()
+
+
+def _cancel_pending(loop: SimLoop) -> None:
+    pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+    for task in pending:
+        task.cancel()
+    if pending:
+        loop.run_until_complete(
+            asyncio.gather(*pending, return_exceptions=True)
+        )

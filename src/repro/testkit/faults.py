@@ -1,0 +1,309 @@
+"""FaultPlan: the declarative, replayable schedule of what goes wrong.
+
+A :class:`FaultPlan` is **self-contained**: it carries the server
+configuration, the workload identity, the client's retry posture, the
+network seed, and a list of timed fault events.  Running the same plan
+twice produces the same run byte-for-byte (virtual clock + seeded
+RNGs), which is what makes a failing plan a *bug report you can
+execute* — the shrinker (:mod:`repro.testkit.shrink`) hands you the
+smallest plan that still fails, and ``repro-dbp chaos --replay`` runs
+it again.
+
+Event kinds (all at virtual times, seconds from server start):
+
+``crash``
+    fail-stop a shard; with ``after_applies=n`` the crash arms a
+    countdown and fires from *inside* the worker's batch loop after
+    ``n`` more applies — the mid-batch window external timers can't hit;
+``recover``
+    rebuild the shard from its crash-instant durable image;
+``stall``
+    park the shard's worker for ``duration`` (an overload window — the
+    queue backs up and backpressure replies flow);
+``restart``
+    gracefully drain the whole server (per-shard checkpoint files),
+    then bring up a fresh server resumed from those checkpoints — the
+    full checkpoint/restore cycle over real files.
+
+Network degradation is expressed as :class:`NetWindow` entries — a
+:class:`~repro.testkit.simnet.SimNetPolicy` active for a time window.
+
+:func:`generate_plan` draws a randomized plan from a seed: the unit of
+work of a chaos *sweep* (``repro-dbp chaos --schedules N``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .simnet import SimNetPolicy
+
+__all__ = ["FaultPlan", "NetWindow", "ShardEvent", "generate_plan"]
+
+#: event kinds a plan may schedule
+EVENT_KINDS = ("crash", "recover", "stall", "restart")
+
+
+@dataclass
+class ShardEvent:
+    """One timed fault against one shard (or the whole server)."""
+
+    kind: str
+    at: float
+    shard: int = 0
+    after_applies: Optional[int] = None  #: crash: arm mid-batch countdown
+    duration: float = 0.0  #: stall: how long the worker is parked
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected {EVENT_KINDS}"
+            )
+
+    def to_dict(self) -> dict:
+        obj = {"kind": self.kind, "at": self.at, "shard": self.shard}
+        if self.after_applies is not None:
+            obj["after_applies"] = self.after_applies
+        if self.duration:
+            obj["duration"] = self.duration
+        return obj
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "ShardEvent":
+        return cls(
+            kind=obj["kind"],
+            at=float(obj["at"]),
+            shard=int(obj.get("shard", 0)),
+            after_applies=(
+                int(obj["after_applies"])
+                if obj.get("after_applies") is not None else None
+            ),
+            duration=float(obj.get("duration", 0.0)),
+        )
+
+
+@dataclass
+class NetWindow:
+    """A network-degradation window: ``policy`` active in [at, at+duration)."""
+
+    at: float
+    duration: float
+    policy: SimNetPolicy
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "duration": self.duration,
+            "policy": self.policy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "NetWindow":
+        return cls(
+            at=float(obj["at"]),
+            duration=float(obj["duration"]),
+            policy=SimNetPolicy.from_dict(obj.get("policy") or {}),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """One complete, replayable chaos schedule (see module docstring)."""
+
+    seed: int = 0
+    # --- server under test -------------------------------------------- #
+    shards: int = 2
+    algorithm: str = "FirstFit"
+    capacity: float = 1.0
+    max_queue: int = 32
+    batch_max: int = 4
+    batch_delay: float = 0.002
+    # --- workload ------------------------------------------------------ #
+    workload: str = "uniform"  #: a :data:`repro.serve.loadgen.WORKLOADS` name
+    n_items: int = 120
+    send_gap: float = 0.004  #: min virtual seconds between submissions/shard
+    # --- client retry posture ------------------------------------------ #
+    timeout: float = 0.1  #: per-attempt reply timeout (virtual seconds)
+    backoff: float = 0.01  #: initial retry backoff (doubles, capped)
+    backoff_cap: float = 0.3
+    max_attempts: int = 60  #: generous — the harness heals all faults
+    # --- the faults ----------------------------------------------------- #
+    events: List[ShardEvent] = field(default_factory=list)
+    net_windows: List[NetWindow] = field(default_factory=list)
+    #: deliberate bug-injection seam: run with the shard dedup cache off
+    #: so lost-ack retries double-apply (the oracle must catch this)
+    disable_dedup: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Derived schedule geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def traffic_span(self) -> float:
+        """Rough virtual duration of the submission window."""
+        per_shard = -(-self.n_items // max(1, self.shards))  # ceil
+        return per_shard * self.send_gap
+
+    @property
+    def heal_at(self) -> float:
+        """When the harness force-heals everything still broken.
+
+        Late enough that every scheduled fault has fired, early enough
+        that retrying clients converge: after this instant all shards
+        run, the network is perfect, and dedup-safe retries drain.
+        """
+        last_event = max(
+            [e.at + e.duration for e in self.events]
+            + [w.at + w.duration for w in self.net_windows]
+            + [0.0]
+        )
+        return max(self.traffic_span, last_event) + 0.25
+
+    def needs_checkpoint_dir(self) -> bool:
+        return any(e.kind == "restart" for e in self.events)
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip (the artifact format)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "algorithm": self.algorithm,
+            "capacity": self.capacity,
+            "max_queue": self.max_queue,
+            "batch_max": self.batch_max,
+            "batch_delay": self.batch_delay,
+            "workload": self.workload,
+            "n_items": self.n_items,
+            "send_gap": self.send_gap,
+            "timeout": self.timeout,
+            "backoff": self.backoff,
+            "backoff_cap": self.backoff_cap,
+            "max_attempts": self.max_attempts,
+            "events": [e.to_dict() for e in self.events],
+            "net_windows": [w.to_dict() for w in self.net_windows],
+            "disable_dedup": self.disable_dedup,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "FaultPlan":
+        plan = cls(
+            seed=int(obj.get("seed", 0)),
+            shards=int(obj.get("shards", 2)),
+            algorithm=str(obj.get("algorithm", "FirstFit")),
+            capacity=float(obj.get("capacity", 1.0)),
+            max_queue=int(obj.get("max_queue", 32)),
+            batch_max=int(obj.get("batch_max", 4)),
+            batch_delay=float(obj.get("batch_delay", 0.002)),
+            workload=str(obj.get("workload", "uniform")),
+            n_items=int(obj.get("n_items", 120)),
+            send_gap=float(obj.get("send_gap", 0.004)),
+            timeout=float(obj.get("timeout", 0.25)),
+            backoff=float(obj.get("backoff", 0.02)),
+            backoff_cap=float(obj.get("backoff_cap", 0.5)),
+            max_attempts=int(obj.get("max_attempts", 60)),
+            events=[ShardEvent.from_dict(e) for e in obj.get("events", [])],
+            net_windows=[
+                NetWindow.from_dict(w) for w in obj.get("net_windows", [])
+            ],
+            disable_dedup=bool(obj.get("disable_dedup", False)),
+        )
+        return plan
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One human line: what this plan throws at the service."""
+        kinds = [e.kind for e in self.events]
+        return (
+            f"seed={self.seed} {self.algorithm} shards={self.shards} "
+            f"items={self.n_items} events={kinds or 'none'} "
+            f"net_windows={len(self.net_windows)}"
+            + (" DEDUP-DISABLED" if self.disable_dedup else "")
+        )
+
+
+#: algorithms the generator draws from — streaming-safe and fast
+_PLAN_ALGORITHMS = ("FirstFit", "BestFit", "HybridAlgorithm")
+
+
+def generate_plan(seed: int, **overrides) -> FaultPlan:
+    """Draw one randomized chaos schedule from ``seed``.
+
+    Every structural choice (shard count, which faults, when) comes
+    from ``random.Random(seed)``, so a sweep over seeds is reproducible
+    plan-by-plan.  ``overrides`` pin any :class:`FaultPlan` field —
+    e.g. ``generate_plan(7, disable_dedup=True)`` for the
+    bug-injection acceptance test.
+    """
+    # str seeding hashes via sha512 — stable across processes, unlike
+    # tuple seeding which goes through salted hash()
+    rng = random.Random(f"chaos-plan-{seed}")
+    shards = rng.randint(1, 3)
+    plan = FaultPlan(
+        seed=seed,
+        shards=shards,
+        algorithm=rng.choice(_PLAN_ALGORITHMS),
+        n_items=rng.randrange(80, 200),
+        batch_max=rng.choice((1, 2, 4)),
+        batch_delay=rng.choice((0.0, 0.001, 0.002)),
+        max_queue=rng.choice((8, 16, 32)),
+    )
+    span = plan.traffic_span
+
+    def when(lo: float = 0.05, hi: float = 0.9) -> float:
+        return round(rng.uniform(lo * span, hi * span), 4)
+
+    events: List[ShardEvent] = []
+    for _ in range(rng.randint(0, 2)):  # crashes (some mid-batch)
+        shard = rng.randrange(shards)
+        crash_at = when()
+        event = ShardEvent(kind="crash", at=crash_at, shard=shard)
+        if rng.random() < 0.5:
+            event.after_applies = rng.randint(1, 8)
+        events.append(event)
+        if rng.random() < 0.7:  # usually recover explicitly...
+            events.append(ShardEvent(
+                kind="recover", at=round(crash_at + rng.uniform(
+                    0.05, max(0.1, 0.3 * span)), 4),
+                shard=shard,
+            ))
+        # ...otherwise the harness's heal_at recovery picks it up
+    if rng.random() < 0.35:  # an overload window
+        events.append(ShardEvent(
+            kind="stall", at=when(), shard=rng.randrange(shards),
+            duration=round(rng.uniform(0.05, 0.3 * span + 0.05), 4),
+        ))
+    if rng.random() < 0.2:  # a full graceful restart cycle
+        events.append(ShardEvent(kind="restart", at=when(0.2, 0.7)))
+    windows: List[NetWindow] = []
+    for _ in range(rng.randint(0, 2)):  # network degradation windows
+        windows.append(NetWindow(
+            at=when(0.0, 0.8),
+            duration=round(rng.uniform(0.05, 0.4 * span + 0.05), 4),
+            policy=SimNetPolicy(
+                drop=rng.choice((0.0, 0.05, 0.15)),
+                delay=rng.choice((0.0, 0.2, 0.5)),
+                delay_s=rng.choice((0.005, 0.02)),
+                reorder=rng.choice((0.0, 0.1)),
+                truncate=rng.choice((0.0, 0.03)),
+                disconnect=rng.choice((0.0, 0.03)),
+            ),
+        ))
+    events.sort(key=lambda e: e.at)
+    windows.sort(key=lambda w: w.at)
+    plan.events = events
+    plan.net_windows = windows
+    for key, value in overrides.items():
+        if not hasattr(plan, key):
+            raise TypeError(f"FaultPlan has no field {key!r}")
+        setattr(plan, key, value)
+    return plan

@@ -1,0 +1,316 @@
+"""The chaos harness: run one FaultPlan end to end, deterministically.
+
+:func:`run_chaos` is the single entry point: it builds a fresh
+simulated universe — a :class:`~repro.testkit.clock.SimLoop`, a seeded
+:class:`~repro.testkit.simnet.SimNet`, a real
+:class:`~repro.serve.server.PlacementServer` on that transport and
+clock — schedules every event of the plan at its virtual time, drives
+the workload through a :class:`~repro.testkit.chaos_client.ChaosClient`,
+**heals** everything at ``plan.heal_at`` (recover crashed shards, clear
+stalls, restore the perfect network) so retries can settle, advances
+the service clock past the last departure, and hands the survivors to
+the oracle.
+
+The run is a pure function of the plan: no wall clock, no sockets, no
+process-global state.  Two calls with the same plan produce the same
+:class:`ChaosReport`, which is what makes shrinking and replay honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Union
+
+from ..serve.client import PlacementClient
+from ..serve.server import PlacementServer, ServeConfig
+from .chaos_client import ChaosClient, ClientReport
+from .clock import SimLoop, sim_run
+from .faults import FaultPlan
+from .oracle import OracleVerdict, check_oracles
+from .simnet import PERFECT, SimNet
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+#: attempts the epilogue (advance/stats after heal) will retry — the
+#: network is perfect by then, so a couple of reconnects suffice
+_EPILOGUE_ATTEMPTS = 20
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced (JSON-friendly)."""
+
+    plan: FaultPlan
+    verdict: OracleVerdict
+    client: ClientReport
+    net_faults: dict = field(default_factory=dict)
+    events_fired: List[str] = field(default_factory=list)
+    virtual_duration: float = 0.0  #: how much simulated time elapsed
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.ok
+
+    @property
+    def failures(self) -> List[str]:
+        return self.verdict.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "plan": self.plan.to_dict(),
+            "verdict": self.verdict.to_dict(),
+            "client": self.client.to_dict(),
+            "net_faults": dict(self.net_faults),
+            "events_fired": list(self.events_fired),
+            "virtual_duration": self.virtual_duration,
+        }
+
+    def summary(self) -> str:
+        flag = "ok" if self.ok else "FAIL"
+        head = (
+            f"[{flag}] {self.plan.describe()} — acked "
+            f"{len(self.client.acked)}/{self.client.sent}, "
+            f"resends={self.client.resends}, "
+            f"net={self.net_faults}, t={self.virtual_duration:.2f}s(virtual)"
+        )
+        if self.ok:
+            return head
+        return head + "".join(f"\n    - {f}" for f in self.failures)
+
+
+def run_chaos(
+    plan: FaultPlan,
+    *,
+    checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+    registry=None,
+) -> ChaosReport:
+    """Execute ``plan`` on a fresh virtual-time universe (see above)."""
+    if plan.needs_checkpoint_dir() and checkpoint_dir is None:
+        with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
+            return run_chaos(plan, checkpoint_dir=tmp, registry=registry)
+    return sim_run(_run_plan(plan, checkpoint_dir, registry))
+
+
+async def _run_plan(
+    plan: FaultPlan,
+    checkpoint_dir,
+    registry,
+) -> ChaosReport:
+    loop = asyncio.get_running_loop()
+    assert isinstance(loop, SimLoop), "run_chaos must drive a SimLoop"
+    net = SimNet(seed=plan.seed)
+    config = ServeConfig(
+        shards=plan.shards,
+        algorithm=plan.algorithm,
+        capacity=plan.capacity,
+        max_queue=plan.max_queue,
+        batch_max=plan.batch_max,
+        batch_delay=plan.batch_delay,
+        checkpoint_dir=checkpoint_dir,
+        metrics=True,
+        ledger_dir=None,
+        generator=plan.workload,
+    )
+    fired: List[str] = []
+    # the current server lives in a box so timed events and the client
+    # keep working across a graceful restart (which replaces the object)
+    box = {}
+
+    def _shard(idx: int):
+        return box["server"].shards[idx]
+
+    server = PlacementServer(
+        config, registry=registry, transport=net, clock=loop.time
+    )
+    await server.start()
+    box["server"] = server
+    port = server.port
+    if plan.disable_dedup:
+        for shard in server.shards:
+            shard.dedup_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Schedule the plan: every fault at its virtual time
+    # ------------------------------------------------------------------ #
+    handles = []
+
+    def at(when: float, fn, label: str) -> None:
+        def _fire() -> None:
+            fired.append(f"{label}@{when:g}")
+            fn()
+
+        handles.append(loop.call_at(loop.time() + when, _fire))
+
+    for event in plan.events:
+        shard_idx = min(event.shard, plan.shards - 1)
+        if event.kind == "crash":
+            if event.after_applies is not None:
+                n = event.after_applies
+                at(
+                    event.at,
+                    lambda i=shard_idx, n=n: _shard(i).crash_after(n),
+                    f"crash-after-{n}:s{shard_idx}",
+                )
+            else:
+                at(
+                    event.at,
+                    lambda i=shard_idx: _shard(i).crash(),
+                    f"crash:s{shard_idx}",
+                )
+        elif event.kind == "recover":
+            at(
+                event.at,
+                lambda i=shard_idx: _shard(i).recover(),
+                f"recover:s{shard_idx}",
+            )
+        elif event.kind == "stall":
+            duration = event.duration
+            at(
+                event.at,
+                lambda i=shard_idx, d=duration: _shard(i).stall(
+                    loop.time() + d
+                ),
+                f"stall-{duration:g}:s{shard_idx}",
+            )
+        elif event.kind == "restart":
+            at(
+                event.at,
+                lambda: loop.create_task(_graceful_restart(
+                    box, config, net, loop, port, plan, registry
+                )),
+                "restart",
+            )
+
+    # network windows: at every boundary, recompute which window (if
+    # any) covers "now" — overlapping windows resolve to the latest one
+    def _apply_net() -> None:
+        now = loop.time()
+        active = PERFECT
+        for window in plan.net_windows:
+            if window.at <= now < window.at + window.duration:
+                active = window.policy
+        net.set_policy(active)
+
+    for window in plan.net_windows:
+        at(window.at, _apply_net, "net-on")
+        at(window.at + window.duration, _apply_net, "net-off")
+
+    # the heal point: whatever is still broken gets fixed so the
+    # retrying client can settle and the oracles can judge a quiet system
+    def _heal() -> None:
+        net.clear_policy()
+        for shard in box["server"].shards:
+            shard._crash_after_applies = None
+            shard._stall_until = None
+            if shard.crashed:
+                shard.recover()
+
+    at(plan.heal_at, _heal, "heal")
+
+    # ------------------------------------------------------------------ #
+    # Traffic
+    # ------------------------------------------------------------------ #
+    items = _plan_items(plan)
+    chaos = ChaosClient(
+        "sim", port, transport=net, plan=plan, items=items
+    )
+    client_report = await chaos.run()
+
+    # make sure the heal has happened even if traffic settled early
+    remaining = plan.heal_at - loop.time()
+    if remaining > 0:
+        await asyncio.sleep(remaining + 0.001)
+    _heal()
+
+    # ------------------------------------------------------------------ #
+    # Epilogue: advance past the horizon, read final stats, drain
+    # ------------------------------------------------------------------ #
+    horizon = max((it[2] for it in items), default=0.0) + 1.0
+    stats = await _epilogue(net, port, plan, horizon)
+    duration = loop.time()
+    await box["server"].drain()
+    for handle in handles:
+        handle.cancel()
+
+    verdict = check_oracles(plan, client_report, stats, registry=registry)
+    return ChaosReport(
+        plan=plan,
+        verdict=verdict,
+        client=client_report,
+        net_faults=net.fault_counts(),
+        events_fired=fired,
+        virtual_duration=duration,
+    )
+
+
+def _plan_items(plan: FaultPlan):
+    """The plan's workload as (id, arrival, departure, size) tuples."""
+    from ..serve.loadgen import make_workload
+
+    instance = make_workload(plan.workload, plan.n_items, plan.seed)
+    return [
+        (str(item.uid), item.arrival, item.departure, item.size)
+        for item in instance
+    ]
+
+
+async def _graceful_restart(
+    box, config: ServeConfig, net: SimNet, loop, port: int, plan, registry
+) -> None:
+    """Drain the server to checkpoint files, then resume a fresh one.
+
+    The full persistence cycle under traffic: clients see ``draining``
+    refusals, then dead connections, then ``ConnectionRefusedError`` —
+    all retryable — and finally a server whose shards continue their
+    decision streams bit-for-bit from the checkpoint files.
+    """
+    old = box["server"]
+    await old.drain()
+    new = PlacementServer(
+        replace(config, port=port, resume=True),
+        registry=registry,
+        transport=net,
+        clock=loop.time,
+    )
+    await new.start()
+    if plan.disable_dedup:
+        for shard in new.shards:
+            shard.dedup_enabled = False
+    box["server"] = new
+
+
+async def _epilogue(net: SimNet, port: int, plan, horizon: float) -> dict:
+    """Advance every shard past ``horizon`` and fetch final stats.
+
+    The network is perfect by now, but a restart may still be settling,
+    so a short retry loop (virtual-clock backoff) keeps this robust.
+    """
+    last_error: Optional[BaseException] = None
+    for _ in range(_EPILOGUE_ATTEMPTS):
+        client = None
+        try:
+            client = await PlacementClient.connect(
+                "sim", port, timeout=plan.timeout, transport=net
+            )
+            reply = await asyncio.wait_for(
+                client.advance(horizon), plan.timeout
+            )
+            if not reply.get("ok"):
+                await asyncio.sleep(plan.backoff)
+                continue
+            stats = await asyncio.wait_for(client.stats(), plan.timeout)
+            return stats
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            last_error = exc
+            await asyncio.sleep(plan.backoff)
+        finally:
+            if client is not None:
+                await client.aclose()
+    raise RuntimeError(
+        f"chaos epilogue could not settle after {_EPILOGUE_ATTEMPTS} "
+        f"attempts (last error: {last_error!r})"
+    )

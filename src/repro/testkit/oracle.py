@@ -1,0 +1,212 @@
+"""End-of-run oracles: what must be true after *any* fault schedule.
+
+A chaos run is judged only after the harness heals every fault and the
+retrying client settles.  Then, per shard:
+
+**Exactly-once** — the acked records' server-assigned ``uid``s must be
+exactly ``0..n-1`` (uids are the shard's apply order, so a gap means an
+item was applied whose ack was lost *and never re-claimed* — loss — and
+the shard's ``items`` counter exceeding the acked count means a retry
+was applied twice — the dedup bug);
+
+**Decision/cost parity** — replaying the acked items (in apply order)
+through batch :func:`~repro.core.simulation.simulate` must reproduce
+the served decision stream **bit-identically**: same bin per item, same
+freshly-opened flags, same final cost (within the engine-parity
+tolerance), same ``max_open`` and bins-opened count.  Crashes,
+restores, resends and reorderings may delay an item — they may never
+change where it lands;
+
+**Invariants** — the replay runs under the
+:class:`~repro.obs.invariants.InvariantMonitor`, so the theory-level
+invariants (cost identity, span/demand bounds, Table-1 ratios) hold on
+the surviving stream too.
+
+Client-level checks: no item abandoned, no unexpected terminal refusal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.instance import Instance
+from ..core.simulation import simulate
+from ..core.store import ItemStore
+from ..engine.parity import COST_TOL
+from ..obs.invariants import InvariantMonitor
+from .chaos_client import ClientReport
+
+__all__ = ["OracleVerdict", "check_oracles"]
+
+
+@dataclass
+class OracleVerdict:
+    """The run's pass/fail plus every reason it failed."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    per_shard: List[dict] = field(default_factory=list)
+    invariant_violations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "per_shard": list(self.per_shard),
+            "invariant_violations": self.invariant_violations,
+        }
+
+
+def check_oracles(
+    plan,
+    report: ClientReport,
+    stats_reply: dict,
+    *,
+    registry=None,
+) -> OracleVerdict:
+    """Judge one healed chaos run (see module docstring).
+
+    ``stats_reply`` is the server's final ``stats`` reply, taken after
+    an ``advance`` past the last departure — so per-shard costs are
+    final, exactly like the parity harness measures them.
+    """
+    if registry is None:
+        from ..parallel import _registry
+
+        registry = _registry()
+    factory = registry[plan.algorithm]
+    failures: List[str] = []
+    verdict = OracleVerdict(ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Client-level: every item settled with an ack
+    # ------------------------------------------------------------------ #
+    if report.abandoned:
+        failures.append(
+            f"{report.abandoned} item(s) abandoned after max_attempts — "
+            "the service never settled them"
+        )
+    for refusal in report.terminal:
+        failures.append(f"unexpected terminal refusal: {refusal}")
+    if report.sent != len(report.acked) + report.abandoned + len(
+        report.terminal
+    ):
+        failures.append(
+            f"bookkeeping mismatch: sent={report.sent} != acked="
+            f"{len(report.acked)} + abandoned={report.abandoned} + "
+            f"terminal={len(report.terminal)}"
+        )
+
+    per_shard_stats = {
+        int(s["shard"]): s for s in stats_reply.get("per_shard", [])
+    }
+
+    # ------------------------------------------------------------------ #
+    # Per shard: exactly-once + bit-identical replay
+    # ------------------------------------------------------------------ #
+    for shard in range(plan.shards):
+        recs = sorted(
+            (r for r in report.acked if r.shard == shard),
+            key=lambda r: r.uid,
+        )
+        stats = per_shard_stats.get(shard, {})
+        detail = {
+            "shard": shard,
+            "acked": len(recs),
+            "applied": stats.get("items"),
+        }
+        uids = [r.uid for r in recs]
+        if uids != list(range(len(recs))):
+            failures.append(
+                f"shard {shard}: acked uids are not exactly 0..n-1 "
+                f"(n={len(recs)}) — an applied item was lost or an item "
+                f"was applied more than once; uids={uids[:20]}..."
+                if len(uids) > 20 else
+                f"shard {shard}: acked uids are not exactly 0..n-1 "
+                f"(n={len(recs)}): {uids}"
+            )
+        applied = stats.get("items")
+        if applied is not None and int(applied) != len(recs):
+            failures.append(
+                f"shard {shard}: server applied {applied} item(s) but the "
+                f"client holds {len(recs)} ack(s) — "
+                + ("double-apply (dedup failure)"
+                   if int(applied) > len(recs) else "accepted-item loss")
+            )
+        # replay the acked stream through batch simulate(): apply order
+        # (uid order) has nondecreasing arrivals because the client is
+        # closed-loop per shard, so it is a valid instance
+        store = ItemStore()
+        for rec in recs:
+            store.append(rec.arrival, rec.departure, rec.size)
+        monitor = InvariantMonitor(
+            capacity=plan.capacity, algorithm=plan.algorithm
+        )
+        batch = simulate(
+            factory(),
+            Instance.from_store(store),
+            capacity=plan.capacity,
+            listener=monitor,
+        )
+        monitor.finalize()
+        if not monitor.ok:
+            verdict.invariant_violations += len(monitor.violations)
+            failures.append(
+                f"shard {shard}: {len(monitor.violations)} invariant "
+                f"violation(s) on the replayed stream"
+            )
+        decisions = [r.bin for r in recs]
+        expected = [batch.assignment.get(i) for i in range(len(recs))]
+        if decisions != expected:
+            first = next(
+                (i for i, (a, b) in enumerate(zip(decisions, expected))
+                 if a != b), None,
+            )
+            failures.append(
+                f"shard {shard}: decision stream diverges from simulate() "
+                f"at item {first}: served bin {decisions[first]} vs "
+                f"batch bin {expected[first]}"
+            )
+        first_member = {
+            rec.uid: rec.item_uids[0] for rec in batch.bins if rec.item_uids
+        }
+        opened = [r.opened for r in recs]
+        expected_opened = [
+            first_member.get(batch.assignment.get(i)) == i
+            for i in range(len(recs))
+        ]
+        if opened != expected_opened:
+            failures.append(
+                f"shard {shard}: freshly-opened flags diverge from "
+                "simulate()"
+            )
+        cost = stats.get("cost")
+        detail.update(
+            served_cost=cost,
+            batch_cost=batch.cost,
+            served_max_open=stats.get("max_open"),
+            batch_max_open=batch.max_open,
+            served_bins_opened=stats.get("bins_opened"),
+            batch_bins_opened=len(batch.bins),
+        )
+        if cost is None or abs(float(cost) - batch.cost) > COST_TOL:
+            failures.append(
+                f"shard {shard}: served cost {cost} != batch cost "
+                f"{batch.cost:.9g} (tol {COST_TOL})"
+            )
+        if stats.get("max_open") != batch.max_open:
+            failures.append(
+                f"shard {shard}: max_open {stats.get('max_open')} != "
+                f"batch {batch.max_open}"
+            )
+        if stats.get("bins_opened") != len(batch.bins):
+            failures.append(
+                f"shard {shard}: bins_opened {stats.get('bins_opened')} "
+                f"!= batch {len(batch.bins)}"
+            )
+        verdict.per_shard.append(detail)
+
+    verdict.failures = failures
+    verdict.ok = not failures
+    return verdict

@@ -1,0 +1,158 @@
+"""Shrinking: reduce a failing FaultPlan to its minimal core.
+
+When a chaos run fails, the raw plan usually contains faults that have
+nothing to do with the failure.  :func:`minimize` is a greedy
+delta-debugger over the plan structure: it repeatedly tries to
+
+- drop one fault event,
+- drop one network window,
+- shorten a stall/degradation window,
+- shrink the workload (fewer items),
+- remove a shard,
+
+re-running the (fully deterministic) plan after each mutation and
+keeping the mutation whenever the failure **still reproduces**.  The
+result is the smallest plan this greedy descent can reach — typically
+"one crash at one instant under one retry" instead of a 2-crash
+3-window storm — plus the trial count.
+
+:func:`write_artifact` persists the evidence as one JSON file under
+``<ledger>/chaos/``: original plan, minimized plan, both failure lists,
+and the exact replay command.  That file *is* the bug report — anyone
+can re-run it with ``repro-dbp chaos --replay <file>``.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import pathlib
+from typing import Callable, List, Optional, Tuple
+
+from .faults import FaultPlan
+
+__all__ = ["minimize", "write_artifact"]
+
+
+def _default_fails(plan: FaultPlan) -> Tuple[bool, List[str]]:
+    from .harness import run_chaos
+
+    report = run_chaos(plan)
+    return (not report.ok, report.failures)
+
+
+def _candidates(plan: FaultPlan):
+    """Yield (description, mutated-plan) pairs, most aggressive first."""
+    # drop whole events
+    for i in range(len(plan.events)):
+        smaller = copy.deepcopy(plan)
+        dropped = smaller.events.pop(i)
+        yield f"drop event {dropped.kind}@{dropped.at:g}", smaller
+    # drop whole network windows
+    for i in range(len(plan.net_windows)):
+        smaller = copy.deepcopy(plan)
+        smaller.net_windows.pop(i)
+        yield f"drop net window {i}", smaller
+    # halve the workload
+    if plan.n_items > 10:
+        smaller = copy.deepcopy(plan)
+        smaller.n_items = max(10, plan.n_items // 2)
+        yield f"n_items {plan.n_items} -> {smaller.n_items}", smaller
+    # remove a shard
+    if plan.shards > 1:
+        smaller = copy.deepcopy(plan)
+        smaller.shards = plan.shards - 1
+        smaller.events = [
+            e for e in smaller.events if e.shard < smaller.shards
+        ]
+        yield f"shards {plan.shards} -> {smaller.shards}", smaller
+    # shorten windows/stalls
+    for i, event in enumerate(plan.events):
+        if event.duration > 0.02:
+            smaller = copy.deepcopy(plan)
+            smaller.events[i].duration = round(event.duration / 2, 4)
+            yield f"halve {event.kind} duration", smaller
+    for i, window in enumerate(plan.net_windows):
+        if window.duration > 0.02:
+            smaller = copy.deepcopy(plan)
+            smaller.net_windows[i].duration = round(window.duration / 2, 4)
+            yield f"halve net window {i}", smaller
+
+
+def minimize(
+    plan: FaultPlan,
+    *,
+    fails: Optional[Callable[[FaultPlan], Tuple[bool, List[str]]]] = None,
+    max_trials: int = 64,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[FaultPlan, List[str], int]:
+    """Greedily shrink ``plan`` while the failure keeps reproducing.
+
+    Returns ``(minimal_plan, failures_of_minimal, trials_used)``.
+    ``fails(plan) -> (failed, failures)`` defaults to a full
+    :func:`~repro.testkit.harness.run_chaos`; tests inject cheaper
+    predicates.  Deterministic end to end: same input plan, same
+    minimal plan.
+    """
+    if fails is None:
+        fails = _default_fails
+    trials = 1
+    failed, failures = fails(plan)
+    if not failed:
+        return plan, [], trials
+    current, current_failures = plan, failures
+    progress = True
+    while progress and trials < max_trials:
+        progress = False
+        for note, candidate in _candidates(current):
+            if trials >= max_trials:
+                break
+            trials += 1
+            still_failed, cand_failures = fails(candidate)
+            if still_failed:
+                current, current_failures = candidate, cand_failures
+                if log is not None:
+                    log(f"shrink: kept '{note}' ({trials} trials)")
+                progress = True
+                break  # restart candidate generation from the new plan
+    return current, current_failures, trials
+
+
+def write_artifact(
+    plan: FaultPlan,
+    minimized: FaultPlan,
+    failures: List[str],
+    *,
+    ledger_dir=None,
+    minimized_failures: Optional[List[str]] = None,
+    trials: int = 0,
+) -> pathlib.Path:
+    """Persist a failing plan (+ its minimal form) as a replayable file.
+
+    Written under ``<ledger>/chaos/`` (same resolution rules as every
+    ledger record: ``--ledger-dir`` flag > ``REPRO_LEDGER_DIR`` >
+    ``.ledger``).  Returns the path.
+    """
+    from ..obs.ledger import resolve_ledger_dir
+
+    base = resolve_ledger_dir(ledger_dir)
+    out_dir = pathlib.Path(base) / "chaos"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": "chaos-failure",
+        "plan": plan.to_dict(),
+        "failures": list(failures),
+        "minimized_plan": minimized.to_dict(),
+        "minimized_failures": list(
+            minimized_failures if minimized_failures is not None else failures
+        ),
+        "shrink_trials": trials,
+        "replay": "repro-dbp chaos --replay <this file>",
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload["minimized_plan"], sort_keys=True).encode()
+    ).hexdigest()[:10]
+    path = out_dir / f"plan-seed{plan.seed}-{digest}.json"
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path

@@ -1,0 +1,75 @@
+"""The ``repro-dbp chaos`` subcommand: sweep, replay, minimize, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testkit import FaultPlan
+
+
+class TestChaosCommand:
+    def test_single_passing_seed_exits_zero(self, capsys):
+        assert main(["chaos", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out
+        assert "1/1 schedule(s) passed" in out
+
+    def test_schedule_sweep(self, capsys):
+        assert main(["chaos", "--schedules", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok]") == 3
+        assert "3/3 schedule(s) passed" in out
+
+    def test_dedup_off_fails_and_minimizes(self, tmp_path, capsys):
+        rc = main([
+            "chaos", "--seed", "19", "--dedup-off", "--minimize",
+            "--ledger-dir", str(tmp_path),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "minimized after" in out
+        artifacts = list((tmp_path / "chaos").glob("plan-seed19-*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["kind"] == "chaos-failure"
+        assert payload["minimized_plan"]["disable_dedup"] is True
+
+    def test_replay_artifact_reproduces_failure(self, tmp_path, capsys):
+        main([
+            "chaos", "--seed", "19", "--dedup-off", "--minimize",
+            "--ledger-dir", str(tmp_path),
+        ])
+        capsys.readouterr()
+        artifact = next((tmp_path / "chaos").glob("plan-seed19-*.json"))
+        assert main(["chaos", "--replay", str(artifact)]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_replay_bare_plan_file(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(FaultPlan(seed=3, n_items=30).dumps())
+        assert main(["chaos", "--replay", str(plan_path)]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_replay_missing_file(self, tmp_path, capsys):
+        rc = main(["chaos", "--replay", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_report_written(self, tmp_path, capsys):
+        out_path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--seed", "3", "--json", str(out_path)
+        ]) == 0
+        reports = json.loads(out_path.read_text())
+        assert len(reports) == 1
+        assert reports[0]["ok"] is True
+        assert reports[0]["plan"]["seed"] == 3
+
+    def test_help_mentions_chaos(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--help"])
+        assert "fault-injection" in capsys.readouterr().out

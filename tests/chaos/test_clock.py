@@ -1,0 +1,152 @@
+"""SimLoop/sim_run: virtual time, determinism, deadlock detection."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.testkit import SimDeadlockError, SimLoop, sim_run
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_not_wall_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.sleep(1000.0)
+            return loop.time() - t0
+
+        wall0 = time.perf_counter()
+        elapsed = sim_run(main())
+        wall = time.perf_counter() - wall0
+        assert elapsed == pytest.approx(1000.0)
+        assert wall < 5.0  # a 1000s virtual sleep must not block for real
+
+    def test_time_starts_at_zero(self):
+        async def main():
+            return asyncio.get_running_loop().time()
+
+        assert sim_run(main()) == pytest.approx(0.0)
+
+    def test_call_at_ordering(self):
+        fired = []
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            loop.call_at(0.3, fired.append, "c")
+            loop.call_at(0.1, fired.append, "a")
+            loop.call_at(0.2, fired.append, "b")
+            await asyncio.sleep(0.5)
+            return loop.time()
+
+        sim_run(main())
+        assert fired == ["a", "b", "c"]
+
+    def test_concurrent_sleepers_interleave_by_deadline(self):
+        order = []
+
+        async def sleeper(name, delay):
+            await asyncio.sleep(delay)
+            order.append((name, asyncio.get_running_loop().time()))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("slow", 0.3), sleeper("fast", 0.1)
+            )
+
+        sim_run(main())
+        assert [n for n, _ in order] == ["fast", "slow"]
+        assert order[0][1] == pytest.approx(0.1)
+        assert order[1][1] == pytest.approx(0.3)
+
+    def test_wait_for_timeout_on_virtual_clock(self):
+        async def main():
+            forever = asyncio.get_running_loop().create_future()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(forever, 2.0)
+            return asyncio.get_running_loop().time()
+
+        assert sim_run(main()) == pytest.approx(2.0)
+
+
+class TestSimRun:
+    def test_returns_coroutine_value(self):
+        async def main():
+            await asyncio.sleep(0.01)
+            return 42
+
+        assert sim_run(main()) == 42
+
+    def test_propagates_exceptions(self):
+        async def main():
+            await asyncio.sleep(0.01)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            sim_run(main())
+
+    def test_cancels_stragglers_on_return(self):
+        cancelled = []
+
+        async def straggler():
+            try:
+                await asyncio.sleep(10_000.0)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        async def main():
+            asyncio.get_running_loop().create_task(straggler())
+            await asyncio.sleep(0.01)
+            return "done"
+
+        assert sim_run(main()) == "done"
+        assert cancelled == [True]
+
+    def test_explicit_loop_argument(self):
+        loop = SimLoop()
+
+        async def main():
+            assert asyncio.get_running_loop() is loop
+            await asyncio.sleep(1.0)
+            return loop.time()
+
+        assert sim_run(main(), loop=loop) == pytest.approx(1.0)
+
+
+class TestDeadlockDetection:
+    def test_unresolvable_future_raises_not_hangs(self):
+        async def main():
+            await asyncio.get_running_loop().create_future()
+
+        wall0 = time.perf_counter()
+        with pytest.raises(SimDeadlockError):
+            sim_run(main())
+        assert time.perf_counter() - wall0 < 5.0
+
+    def test_mutually_waiting_tasks_deadlock(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            a, b = loop.create_future(), loop.create_future()
+
+            async def wait_then_set(wait_on, then_set):
+                await wait_on
+                then_set.set_result(None)
+
+            await asyncio.gather(
+                wait_then_set(a, b), wait_then_set(b, a)
+            )
+
+        with pytest.raises(SimDeadlockError):
+            sim_run(main())
+
+    def test_timer_guarded_wait_is_not_a_deadlock(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            loop.call_at(0.5, future.set_result, "late")
+            return await future
+
+        assert sim_run(main()) == "late"

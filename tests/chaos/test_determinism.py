@@ -1,0 +1,55 @@
+"""Whole-pipeline determinism: same trace + seed → byte-identical metrics.
+
+Two fully independent ``repro-dbp replay`` runs over the same JSONL
+trace, each writing its own ledger, must agree **exactly** on every
+deterministic flattened metric (wall-clock/provenance noise excluded
+via :data:`NONDETERMINISTIC_PREFIXES`).  This is the regression guard
+for the determinism the whole chaos harness leans on: if replay ever
+picks up iteration-order or floating-point nondeterminism, this fails
+before any chaos oracle gets confused by it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs.ledger import (
+    NONDETERMINISTIC_PREFIXES,
+    flatten_metrics,
+    read_ledger,
+)
+from repro.workloads import dump_jsonl, uniform_random
+
+
+def _replay_metrics(trace: str, ledger_dir) -> dict:
+    rc = main([
+        "replay", trace, "-a", "HybridAlgorithm", "--verify",
+        "--ledger-dir", str(ledger_dir),
+    ])
+    assert rc == 0
+    records = read_ledger(ledger_dir)
+    assert len(records) == 1
+    flat = flatten_metrics(records[0])
+    assert flat, "replay must have recorded metrics"
+    return flat
+
+
+def test_replay_twice_is_byte_identical(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    dump_jsonl(uniform_random(500, 24, seed=7), trace)
+
+    first = _replay_metrics(str(trace), tmp_path / "run-a")
+    second = _replay_metrics(str(trace), tmp_path / "run-b")
+    capsys.readouterr()
+
+    # byte-identical: compare the canonical JSON serialisations, not
+    # approx-equal floats — bit-for-bit is the contract
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    # and the filter actually stripped the nondeterministic sections
+    assert all(
+        not k.startswith(NONDETERMINISTIC_PREFIXES) for k in first
+    )
+    assert any(k.startswith("metrics.cost") for k in first)

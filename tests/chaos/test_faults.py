@@ -1,0 +1,120 @@
+"""FaultPlan: serialization round-trips, generation, schedule geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit import FaultPlan, NetWindow, ShardEvent, SimNetPolicy
+from repro.testkit import generate_plan
+
+
+class TestShardEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            ShardEvent(kind="meteor", at=0.1)
+
+    def test_round_trip_with_optionals(self):
+        event = ShardEvent(
+            kind="crash", at=0.25, shard=2, after_applies=3
+        )
+        assert ShardEvent.from_dict(event.to_dict()) == event
+        stall = ShardEvent(kind="stall", at=0.5, shard=1, duration=0.2)
+        assert ShardEvent.from_dict(stall.to_dict()) == stall
+
+
+class TestFaultPlanSerialization:
+    def _rich_plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=42,
+            shards=3,
+            algorithm="BestFit",
+            n_items=50,
+            disable_dedup=True,
+            events=[
+                ShardEvent(kind="crash", at=0.1, shard=1, after_applies=2),
+                ShardEvent(kind="recover", at=0.2, shard=1),
+                ShardEvent(kind="stall", at=0.3, shard=0, duration=0.1),
+                ShardEvent(kind="restart", at=0.4),
+            ],
+            net_windows=[
+                NetWindow(
+                    at=0.05, duration=0.2,
+                    policy=SimNetPolicy(drop=0.1, delay=0.2, delay_s=0.01),
+                ),
+            ],
+        )
+
+    def test_dict_round_trip(self):
+        plan = self._rich_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = self._rich_plan()
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_describe_mentions_the_faults(self):
+        text = self._rich_plan().describe()
+        assert "seed=42" in text
+        assert "crash" in text
+        assert "DEDUP-DISABLED" in text
+
+
+class TestGeometry:
+    def test_traffic_span_is_per_shard(self):
+        plan = FaultPlan(n_items=100, shards=2, send_gap=0.004)
+        assert plan.traffic_span == pytest.approx(50 * 0.004)
+        solo = FaultPlan(n_items=100, shards=1, send_gap=0.004)
+        assert solo.traffic_span == pytest.approx(100 * 0.004)
+
+    def test_heal_at_covers_traffic_and_events(self):
+        quiet = FaultPlan(n_items=100, shards=2, send_gap=0.004)
+        assert quiet.heal_at > quiet.traffic_span
+        late_stall = FaultPlan(
+            n_items=10, shards=2, send_gap=0.004,
+            events=[ShardEvent(kind="stall", at=5.0, duration=1.0)],
+        )
+        assert late_stall.heal_at > 6.0
+
+    def test_needs_checkpoint_dir_only_for_restarts(self):
+        assert not FaultPlan(
+            events=[ShardEvent(kind="crash", at=0.1)]
+        ).needs_checkpoint_dir()
+        assert FaultPlan(
+            events=[ShardEvent(kind="restart", at=0.1)]
+        ).needs_checkpoint_dir()
+
+
+class TestGeneratePlan:
+    def test_same_seed_same_plan(self):
+        assert generate_plan(7).to_dict() == generate_plan(7).to_dict()
+
+    def test_different_seeds_differ(self):
+        dicts = [generate_plan(s).to_dict() for s in range(10)]
+        assert len({str(sorted(d.items())) for d in dicts}) > 1
+
+    def test_sweep_produces_fault_diversity(self):
+        plans = [generate_plan(s) for s in range(30)]
+        kinds = {e.kind for p in plans for e in p.events}
+        assert {"crash", "recover", "stall", "restart"} <= kinds
+        assert any(p.net_windows for p in plans)
+        assert any(
+            e.after_applies is not None
+            for p in plans for e in p.events
+        ), "some crashes should arm the mid-batch countdown"
+
+    def test_events_and_windows_sorted_by_time(self):
+        for seed in range(20):
+            plan = generate_plan(seed)
+            ats = [e.at for e in plan.events]
+            assert ats == sorted(ats)
+            wats = [w.at for w in plan.net_windows]
+            assert wats == sorted(wats)
+
+    def test_overrides_pin_fields(self):
+        plan = generate_plan(3, disable_dedup=True, n_items=33)
+        assert plan.disable_dedup
+        assert plan.n_items == 33
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError, match="no field"):
+            generate_plan(3, warp_drive=True)

@@ -1,0 +1,133 @@
+"""The shrinker: greedy plan minimization and failure artifacts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.testkit import (
+    FaultPlan,
+    NetWindow,
+    ShardEvent,
+    SimNetPolicy,
+    minimize,
+    write_artifact,
+)
+
+
+def _busy_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=99,
+        shards=3,
+        n_items=120,
+        events=[
+            ShardEvent(kind="crash", at=0.1, shard=0),
+            ShardEvent(kind="recover", at=0.2, shard=0),
+            ShardEvent(kind="stall", at=0.15, shard=1, duration=0.2),
+            ShardEvent(kind="restart", at=0.3),
+        ],
+        net_windows=[
+            NetWindow(at=0.05, duration=0.1, policy=SimNetPolicy(drop=0.2)),
+            NetWindow(at=0.25, duration=0.1, policy=SimNetPolicy(delay=0.5)),
+        ],
+    )
+
+
+class TestMinimize:
+    def test_passing_plan_returns_unchanged(self):
+        plan = _busy_plan()
+        minimal, failures, trials = minimize(
+            plan, fails=lambda p: (False, [])
+        )
+        assert minimal is plan
+        assert failures == []
+        assert trials == 1
+
+    def test_shrinks_to_the_one_guilty_event(self):
+        # failure reproduces iff a stall event is present: the shrinker
+        # must strip everything else
+        def fails(plan):
+            guilty = any(e.kind == "stall" for e in plan.events)
+            return guilty, (["stall still present"] if guilty else [])
+
+        minimal, failures, trials = minimize(_busy_plan(), fails=fails)
+        assert failures == ["stall still present"]
+        assert [e.kind for e in minimal.events] == ["stall"]
+        assert minimal.net_windows == []
+        assert minimal.n_items == 10  # halved to the floor
+        # shards stop at 2: dropping to 1 would drop the stall (shard 1)
+        assert minimal.shards == 2
+        assert trials > 1
+
+    def test_shortens_durations(self):
+        def fails(plan):
+            return bool(plan.net_windows), ["window"]
+
+        minimal, _, _ = minimize(_busy_plan(), fails=fails)
+        assert len(minimal.net_windows) == 1
+        assert minimal.net_windows[0].duration <= 0.02 * 2
+
+    def test_respects_trial_budget(self):
+        calls = []
+
+        def fails(plan):
+            calls.append(1)
+            return True, ["always"]
+
+        minimize(_busy_plan(), fails=fails, max_trials=5)
+        assert len(calls) <= 5
+
+    def test_is_deterministic(self):
+        def fails(plan):
+            return len(plan.events) >= 2, ["two events"]
+
+        a, _, _ = minimize(_busy_plan(), fails=fails)
+        b, _, _ = minimize(_busy_plan(), fails=fails)
+        assert a.to_dict() == b.to_dict()
+
+    def test_log_receives_progress(self):
+        lines = []
+
+        def fails(plan):
+            return bool(plan.events), ["events"]
+
+        minimize(_busy_plan(), fails=fails, log=lines.append)
+        assert any("shrink: kept" in line for line in lines)
+
+    def test_original_plan_is_not_mutated(self):
+        plan = _busy_plan()
+        snapshot = plan.to_dict()
+
+        def fails(p):
+            return bool(p.events), ["events"]
+
+        minimize(plan, fails=fails)
+        assert plan.to_dict() == snapshot
+
+
+class TestWriteArtifact:
+    def test_artifact_is_replayable_json(self, tmp_path):
+        plan = _busy_plan()
+        minimal, failures, trials = minimize(
+            plan,
+            fails=lambda p: (bool(p.events), ["an event fails"]),
+        )
+        path = write_artifact(
+            plan, minimal, ["an event fails"],
+            ledger_dir=tmp_path,
+            minimized_failures=failures, trials=trials,
+        )
+        assert path.parent == tmp_path / "chaos"
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "chaos-failure"
+        assert FaultPlan.from_dict(payload["plan"]) == plan
+        assert FaultPlan.from_dict(payload["minimized_plan"]) == minimal
+        assert payload["shrink_trials"] == trials
+        assert "replay" in payload
+
+    def test_filename_carries_seed_and_digest(self, tmp_path):
+        plan = _busy_plan()
+        path = write_artifact(plan, plan, ["x"], ledger_dir=tmp_path)
+        assert f"seed{plan.seed}" in path.name
+        # same content, same name: re-writing is idempotent
+        again = write_artifact(plan, plan, ["x"], ledger_dir=tmp_path)
+        assert again == path

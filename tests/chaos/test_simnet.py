@@ -1,0 +1,260 @@
+"""SimNet: in-process transport semantics and per-frame fault injection."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.testkit import SimNet, SimNetPolicy, sim_run
+from repro.testkit.simnet import PERFECT
+
+
+async def _echo_server(net: SimNet, port: int = 0) -> int:
+    """Start a line-echo server; returns its port."""
+
+    async def handler(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                writer.write(b"echo:" + line)
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    handle = await net.start_server(handler, "sim", port)
+    return handle.port
+
+
+class TestPerfectNetwork:
+    def test_round_trip_and_fifo(self):
+        async def main():
+            net = SimNet(seed=1)
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            for i in range(5):
+                writer.write(b"m%d\n" % i)
+            await writer.drain()
+            got = [await reader.readline() for _ in range(5)]
+            writer.close()
+            return got
+
+        assert sim_run(main()) == [b"echo:m%d\n" % i for i in range(5)]
+
+    def test_port_allocation_and_refusal(self):
+        async def main():
+            net = SimNet()
+            port_a = await _echo_server(net)
+            port_b = await _echo_server(net)
+            assert port_a != port_b
+            with pytest.raises(ConnectionRefusedError):
+                await net.open_connection("sim", port_b + 999)
+            with pytest.raises(OSError):
+                await _echo_server(net, port=port_a)  # already bound
+            return True
+
+        assert sim_run(main())
+
+    def test_graceful_close_is_eof_not_reset(self):
+        async def main():
+            net = SimNet()
+
+            async def handler(reader, writer):
+                writer.write(b"hello\n")
+                await writer.drain()
+                writer.close()
+
+            handle = await net.start_server(handler, "sim", 0)
+            reader, writer = await net.open_connection("sim", handle.port)
+            assert await reader.readline() == b"hello\n"
+            assert await reader.readline() == b""  # EOF, no exception
+            return True
+
+        assert sim_run(main())
+
+    def test_listener_close_frees_the_port(self):
+        async def main():
+            net = SimNet()
+            handle = await net.start_server(
+                lambda r, w: asyncio.sleep(0), "sim", 0
+            )
+            port = handle.port
+            handle.close()
+            with pytest.raises(ConnectionRefusedError):
+                await net.open_connection("sim", port)
+            # and the port can be bound again (a restart on the same port)
+            again = await net.start_server(
+                lambda r, w: asyncio.sleep(0), "sim", port
+            )
+            return again.port == port
+
+        assert sim_run(main())
+
+
+class TestFaultInjection:
+    def test_drop_loses_the_frame(self):
+        async def main():
+            net = SimNet(seed=7, policy=SimNetPolicy(drop=1.0))
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            writer.write(b"lost\n")
+            net.clear_policy()
+            writer.write(b"kept\n")
+            line = await reader.readline()
+            return line, net.frames_dropped
+
+        line, dropped = sim_run(main())
+        assert line == b"echo:kept\n"
+        assert dropped == 1
+
+    def test_delay_preserves_fifo(self):
+        async def main():
+            net = SimNet(
+                seed=3, policy=SimNetPolicy(delay=1.0, delay_s=0.1)
+            )
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            for i in range(8):
+                writer.write(b"m%d\n" % i)
+            got = [await reader.readline() for _ in range(8)]
+            return got, loop.time() - t0, net.frames_delayed
+
+        got, elapsed, delayed = sim_run(main())
+        assert got == [b"echo:m%d\n" % i for i in range(8)]  # order kept
+        assert elapsed > 0.0  # latency actually happened (virtual)
+        assert delayed == 16  # both directions: 8 requests + 8 echoes
+
+    def test_reorder_lets_later_frames_overtake(self):
+        async def main():
+            net = SimNet(
+                seed=5,
+                policy=SimNetPolicy(reorder=1.0, delay_s=0.05),
+            )
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            writer.write(b"first\n")
+            net.clear_policy()  # second frame sails straight through
+            writer.write(b"second\n")
+            a = await reader.readline()
+            b = await reader.readline()
+            return a, b, net.frames_reordered
+
+        a, b, reordered = sim_run(main())
+        assert (a, b) == (b"echo:second\n", b"echo:first\n")
+        assert reordered == 1
+
+    def test_disconnect_resets_both_directions(self):
+        async def main():
+            net = SimNet(seed=2, policy=SimNetPolicy(disconnect=1.0))
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            writer.write(b"doomed\n")
+            with pytest.raises(ConnectionResetError):
+                await reader.readline()
+            with pytest.raises(ConnectionResetError):
+                await writer.drain()
+            return net.connections_reset
+
+        assert sim_run(main()) == 1
+
+    def test_truncate_delivers_prefix_then_dies(self):
+        async def main():
+            net = SimNet(seed=4)
+
+            got = []
+
+            async def collector(reader, writer):
+                try:
+                    while True:
+                        chunk = await reader.read(64)
+                        if not chunk:
+                            break
+                        got.append(chunk)
+                except ConnectionError:
+                    got.append(b"<reset>")
+
+            handle = await net.start_server(collector, "sim", 0)
+            reader, writer = await net.open_connection("sim", handle.port)
+            net.set_policy(SimNetPolicy(truncate=1.0))
+            writer.write(b"a-full-frame-that-will-be-cut\n")
+            await asyncio.sleep(0.1)
+            return b"".join(g for g in got if g != b"<reset>"), got[-1], \
+                net.frames_truncated
+
+        prefix, tail, truncated = sim_run(main())
+        assert truncated == 1
+        assert tail == b"<reset>"  # the peer sees a mid-line death
+        assert b"a-full-frame-that-will-be-cut\n".startswith(prefix)
+        assert len(prefix) < len(b"a-full-frame-that-will-be-cut\n")
+
+    def test_truncate_mid_readline_raises_not_hangs(self):
+        # Regression: reset() while the reader task is runnable (woken by
+        # the prefix's feed_data) must still terminate the read — the
+        # naive set_exception-only reset left it waiting forever.
+        async def main():
+            net = SimNet(seed=4)
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            net.set_policy(SimNetPolicy(truncate=1.0))
+            writer.write(b"cut-me\n")
+            with pytest.raises(
+                (ConnectionResetError, asyncio.IncompleteReadError)
+            ):
+                line = await reader.readline()
+                if not line.endswith(b"\n"):  # partial line at EOF
+                    raise asyncio.IncompleteReadError(line, None)
+            return True
+
+        assert sim_run(main())
+
+    def test_seeded_faults_are_deterministic(self):
+        async def run_once():
+            net = SimNet(
+                seed=123,
+                policy=SimNetPolicy(drop=0.3, delay=0.3, delay_s=0.01),
+            )
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            for i in range(50):
+                writer.write(b"m%d\n" % i)
+            await asyncio.sleep(1.0)
+            return net.fault_counts()
+
+        first = sim_run(run_once())
+        second = sim_run(run_once())
+        assert first == second
+        assert first["frames_dropped"] > 0
+
+    def test_policy_windows_swap_live(self):
+        async def main():
+            net = SimNet(seed=9)
+            port = await _echo_server(net)
+            reader, writer = await net.open_connection("sim", port)
+            assert net.policy is PERFECT
+            net.set_policy(SimNetPolicy(drop=1.0))
+            writer.write(b"gone\n")
+            net.clear_policy()
+            writer.write(b"back\n")
+            return await reader.readline(), net.frames_dropped
+
+        line, dropped = sim_run(main())
+        assert line == b"echo:back\n"
+        assert dropped == 1
+
+
+class TestPolicySerialization:
+    def test_round_trip(self):
+        policy = SimNetPolicy(
+            drop=0.1, delay=0.2, delay_s=0.03, reorder=0.4,
+            truncate=0.05, disconnect=0.06,
+        )
+        assert SimNetPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_empty_dict_is_perfect(self):
+        assert SimNetPolicy.from_dict({}) == SimNetPolicy(delay_s=0.0)

@@ -1,0 +1,36 @@
+"""The seeded chaos sweep: generated schedules must all pass the oracles.
+
+This is the tier-1 slice of the acceptance sweep (the full 200-schedule
+run is a one-liner: ``repro-dbp chaos --schedules 200``).  Each schedule
+draws its own shard count, algorithm, fault events, and network windows
+from its seed; the oracles require zero accepted-item loss and
+bit-identical decision/cost parity on every one.
+"""
+
+from __future__ import annotations
+
+from repro.testkit import generate_plan, run_chaos
+
+N_SCHEDULES = 25
+
+
+def test_seeded_schedule_sweep():
+    failures = []
+    total_acked = 0
+    any_events = any_windows = any_faults_injected = False
+    for seed in range(N_SCHEDULES):
+        plan = generate_plan(seed)
+        report = run_chaos(plan)
+        if not report.ok:
+            failures.append(report.summary())
+        assert report.client.abandoned == 0, report.summary()
+        total_acked += len(report.client.acked)
+        any_events = any_events or bool(plan.events)
+        any_windows = any_windows or bool(plan.net_windows)
+        any_faults_injected = (
+            any_faults_injected or sum(report.net_faults.values()) > 0
+        )
+    assert not failures, "\n".join(failures)
+    # the sweep must actually exercise faults, not coast on quiet plans
+    assert any_events and any_windows and any_faults_injected
+    assert total_acked > 0

@@ -7,6 +7,7 @@ import asyncio
 import pytest
 
 from repro.serve import PlacementServer, ServeConfig
+from repro.serve.client import PlacementClient
 from repro.serve.loadgen import (
     WORKLOADS,
     LoadReport,
@@ -137,6 +138,42 @@ class TestRunLoadgen:
                 await server.drain()
 
         asyncio.run(main())
+
+    def test_exception_futures_land_in_error_codes(self, monkeypatch):
+        # Regression: a submit() future that resolves to an *exception*
+        # (connection died mid-run) used to raise inside the done
+        # callback, where asyncio logs and swallows it — the run "lost"
+        # those requests entirely instead of reporting them.  Inject
+        # failures for every fifth item and demand they show up in the
+        # error breakdown, with the run still completing.
+        real_submit = PlacementClient.submit
+
+        def flaky_submit(self, payload):
+            if payload.get("op") == "arrive" and payload["id"] % 5 == 0:
+                fut = asyncio.get_running_loop().create_future()
+                fut.set_exception(RuntimeError("injected failure"))
+                return fut
+            return real_submit(self, payload)
+
+        monkeypatch.setattr(PlacementClient, "submit", flaky_submit)
+
+        async def main():
+            server = PlacementServer(ServeConfig(shards=1))
+            await server.start()
+            try:
+                return await run_loadgen(
+                    "127.0.0.1", server.port,
+                    instance=make_workload("uniform", 100, seed=9),
+                    rate=50_000.0, connections=1,
+                )
+            finally:
+                await server.drain()
+
+        report = asyncio.run(main())
+        assert report.error_codes == {"exception:RuntimeError": 20}
+        assert report.errors == 20
+        assert report.ok == 80
+        assert report.items == 100
 
     def test_invalid_parameters(self):
         async def main(**kwargs):
