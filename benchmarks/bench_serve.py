@@ -36,11 +36,25 @@ GATE_MIN_RPS = 5_000.0
 GATE_MAX_P99_MS = 10.0
 GATE_ROUNDS = 3
 
-#: (label, algorithm, shards, offered req/s, items, gated?)
+#: the frozen SERVE.txt gate-cell throughput (FirstFit, 1 shard): the
+#: telemetry-off run must stay within TELEMETRY_MAX_OFF_OVERHEAD of it,
+#: so the telemetry hook sites (one ``is None`` check each) stay free
+BASELINE_GATE_RPS = 5_914.0
+TELEMETRY_MAX_OFF_OVERHEAD = 0.05
+
+#: (label, algorithm, shards, offered req/s, items, gated?, telemetry?)
 CELLS = [
-    ("gate", "FirstFit", 1, 6_000.0, 9_000, True),
-    ("hybrid-1", "HybridAlgorithm", 1, 6_000.0, 9_000, False),
-    ("hybrid-4", "HybridAlgorithm", 4, 8_000.0, 12_000, False),
+    ("gate", "FirstFit", 1, 6_000.0, 9_000, True, False),
+    ("tel-on", "FirstFit", 1, 6_000.0, 9_000, False, True),
+    ("hybrid-1", "HybridAlgorithm", 1, 6_000.0, 9_000, False, False),
+    ("hybrid-4", "HybridAlgorithm", 4, 8_000.0, 12_000, False, False),
+]
+
+#: ``--smoke``: the reduced-scale CI cells — just the telemetry-off/on
+#: pair that feeds the perf-smoke overhead gate in bench_report
+SMOKE_CELLS = [
+    ("gate", "FirstFit", 1, 6_000.0, 3_000, True, False),
+    ("tel-on", "FirstFit", 1, 6_000.0, 3_000, False, True),
 ]
 
 
@@ -51,10 +65,13 @@ def _repro():
         sys.path.insert(0, str(SRC_ROOT))
 
 
-def start_server(algorithm: str, shards: int):
+def start_server(algorithm: str, shards: int, telemetry: bool = False):
+    cmd = [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+           "-a", algorithm, "--shards", str(shards), "--no-ledger"]
+    if telemetry:
+        cmd.append("--telemetry")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         "-a", algorithm, "--shards", str(shards), "--no-ledger"],
+        cmd,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         env={"PYTHONPATH": str(SRC_ROOT)},
@@ -76,11 +93,14 @@ def stop_server(proc) -> None:
     assert proc.returncode == 0
 
 
-def run_round(algorithm: str, shards: int, rate: float, items: int) -> dict:
+def run_round(
+    algorithm: str, shards: int, rate: float, items: int,
+    telemetry: bool = False,
+) -> dict:
     _repro()
     from repro.serve.loadgen import make_workload, run_loadgen
 
-    proc, port = start_server(algorithm, shards)
+    proc, port = start_server(algorithm, shards, telemetry)
     try:
         report = asyncio.run(
             run_loadgen(
@@ -89,19 +109,26 @@ def run_round(algorithm: str, shards: int, rate: float, items: int) -> dict:
                 rate=rate,
                 connections=shards,
                 workload="uniform",
+                trace=telemetry,
             )
         )
     finally:
         stop_server(proc)
     assert report.errors == 0, report.error_codes
     assert report.ok == items
+    if telemetry:
+        served = report.server_telemetry["merged"]["counters"]["requests"]
+        assert served >= items, report.server_telemetry
     return report.to_dict()
 
 
-def run_cell(label, algorithm, shards, rate, items, gated) -> dict:
-    rounds = GATE_ROUNDS if gated else 1
+def run_cell(label, algorithm, shards, rate, items, gated, telemetry) -> dict:
+    # the telemetry-on cell gets gate rounds too: its ratio against the
+    # gate cell is only honest when both sides take their best round
+    rounds = GATE_ROUNDS if (gated or telemetry) else 1
     reports = [
-        run_round(algorithm, shards, rate, items) for _ in range(rounds)
+        run_round(algorithm, shards, rate, items, telemetry)
+        for _ in range(rounds)
     ]
     best = min(reports, key=lambda r: r["latency_ms"]["p99"])
     return {
@@ -109,18 +136,25 @@ def run_cell(label, algorithm, shards, rate, items, gated) -> dict:
         "algorithm": algorithm,
         "shards": shards,
         "gated": gated,
+        "telemetry": telemetry,
         "rounds": rounds,
         "best": best,
     }
 
 
-def run_suite(cells=CELLS):
+def run_suite(cells=CELLS, gate: bool = True):
     rows = [run_cell(*cell) for cell in cells]
-    return render(rows), bench_metrics(rows)
+    return render(rows, gate=gate), bench_metrics(rows)
 
 
 def bench_metrics(rows) -> dict:
-    """Deterministic outcomes + timings (ungated) for BENCH_SERVE.json."""
+    """Deterministic outcomes + timings (ungated) for BENCH_SERVE.json.
+
+    The two scalar ratios are hoisted into the bench-report headline:
+    ``telemetry_off_ratio`` (gate cell vs the frozen baseline — the
+    <5% overhead bar) and ``telemetry_on_ratio`` (full tracing vs the
+    off path, reported, ungated).
+    """
     metrics: dict = {"ok": {}, "errors": {}, "timings": {}}
     for row in rows:
         best = row["best"]
@@ -131,10 +165,20 @@ def bench_metrics(rows) -> dict:
             "p50_ms": best["latency_ms"]["p50"],
             "p99_ms": best["latency_ms"]["p99"],
         }
+    gate = next((r for r in rows if r["label"] == "gate"), None)
+    if gate is not None:
+        metrics["telemetry_off_ratio"] = (
+            gate["best"]["achieved_rps"] / BASELINE_GATE_RPS
+        )
+        tel = next((r for r in rows if r["telemetry"]), None)
+        if tel is not None:
+            metrics["telemetry_on_ratio"] = (
+                tel["best"]["achieved_rps"] / gate["best"]["achieved_rps"]
+            )
     return metrics
 
 
-def render(rows) -> str:
+def render(rows, gate: bool = True) -> str:
     lines = [
         "SERVE — placement service over localhost TCP (open-loop loadgen, "
         "uniform workload)",
@@ -161,18 +205,31 @@ def render(rows) -> str:
             f"{best['latency_ms']['p50']:>7.3f} "
             f"{best['latency_ms']['p99']:>7.3f} | {verdict}"
         )
-    gate = next(r for r in rows if r["gated"])["best"]
+    gate_best = next(r for r in rows if r["gated"])["best"]
     lines += [
         "",
         f"gate (FirstFit, 1 shard, best of {GATE_ROUNDS}): "
-        f"{gate['achieved_rps']:,.0f} req/s "
-        f"(floor {GATE_MIN_RPS:,.0f}), p99 {gate['latency_ms']['p99']:.3f} ms "
+        f"{gate_best['achieved_rps']:,.0f} req/s "
+        f"(floor {GATE_MIN_RPS:,.0f}), "
+        f"p99 {gate_best['latency_ms']['p99']:.3f} ms "
         f"(ceiling {GATE_MAX_P99_MS:g}); 0 errors in every cell.",
-        "",
     ]
+    off_ratio = gate_best["achieved_rps"] / BASELINE_GATE_RPS
+    floor = 1.0 - TELEMETRY_MAX_OFF_OVERHEAD
+    tel = next((r for r in rows if r["telemetry"]), None)
+    if tel is not None:
+        on_ratio = tel["best"]["achieved_rps"] / gate_best["achieved_rps"]
+        lines.append(
+            f"telemetry: off-path {off_ratio:.3f}x the frozen baseline "
+            f"({BASELINE_GATE_RPS:,.0f} req/s; floor {floor:.2f}x), "
+            f"full tracing {on_ratio:.3f}x the off-path."
+        )
+    lines.append("")
     text = "\n".join(lines)
-    assert gate["achieved_rps"] >= GATE_MIN_RPS, text
-    assert gate["latency_ms"]["p99"] < GATE_MAX_P99_MS, text
+    if gate:
+        assert gate_best["achieved_rps"] >= GATE_MIN_RPS, text
+        assert gate_best["latency_ms"]["p99"] < GATE_MAX_P99_MS, text
+        assert off_ratio >= floor, text
     return text
 
 
@@ -191,13 +248,20 @@ def test_bench_serve(benchmark, output_dir):
 if __name__ == "__main__":
     from conftest import bench_json
 
-    output, metrics = run_suite()
+    smoke = "--smoke" in sys.argv[1:]
+    cells = SMOKE_CELLS if smoke else CELLS
+    # smoke scale skips the full-scale asserts; the CI gate is
+    # bench_report's floor on the aggregated telemetry_off_ratio
+    output, metrics = run_suite(cells, gate=not smoke)
     out_dir = pathlib.Path(__file__).parent / "output"
     out_dir.mkdir(exist_ok=True)
-    (out_dir / "SERVE.txt").write_text(output)
+    if not smoke:
+        (out_dir / "SERVE.txt").write_text(output)
     bench_json(out_dir, "SERVE", metrics, algorithm="FirstFit",
                generator="loadgen-uniform",
-               config={"cells": [c[0] for c in CELLS],
+               config={"cells": [c[0] for c in cells],
+                       "smoke": smoke,
                        "gate_min_rps": GATE_MIN_RPS,
-                       "gate_max_p99_ms": GATE_MAX_P99_MS})
+                       "gate_max_p99_ms": GATE_MAX_P99_MS,
+                       "baseline_gate_rps": BASELINE_GATE_RPS})
     print(output)

@@ -33,6 +33,8 @@ HEADLINE_METRICS = (
     ("KERNEL", "speedup"),
     ("KERNEL", "index_speedup"),
     ("KERNEL", "rss_reduction"),
+    ("SERVE", "telemetry_off_ratio"),
+    ("SERVE", "telemetry_on_ratio"),
 )
 
 
@@ -116,6 +118,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=None, metavar="X",
         help="exit 1 unless the kernel columnar speedup is >= X",
     )
+    parser.add_argument(
+        "--min-serve-ratio", type=float, default=None, metavar="X",
+        help="exit 1 unless the serve bench's telemetry-off throughput "
+        "is >= X of its frozen baseline (the <5%% overhead gate is 0.95)",
+    )
     args = parser.parse_args(argv)
 
     if not args.output_dir.is_dir():
@@ -144,6 +151,21 @@ def main(argv: list[str] | None = None) -> int:
                   f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
             return 1
         print(f"kernel speedup {speedup:.3f}x >= {args.min_speedup:.2f}x floor")
+
+    if args.min_serve_ratio is not None:
+        ratio = summary["headline"].get("serve_telemetry_off_ratio")
+        if ratio is None:
+            print("bench_report: serve telemetry_off_ratio metric missing "
+                  "(run benchmarks/bench_serve.py first)", file=sys.stderr)
+            return 1
+        if ratio < args.min_serve_ratio:
+            print(f"bench_report: telemetry-off throughput is "
+                  f"{ratio:.3f}x the frozen serve baseline, below the "
+                  f"{args.min_serve_ratio:.2f}x floor — the telemetry "
+                  f"off-path has grown a tax", file=sys.stderr)
+            return 1
+        print(f"serve telemetry-off ratio {ratio:.3f}x >= "
+              f"{args.min_serve_ratio:.2f}x floor")
     return 0
 
 

@@ -281,7 +281,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "arrive/depart/advance/stats requests as JSON lines and receive "
         "one reply per request.  SIGTERM/SIGINT drains gracefully "
         "(flush micro-batchers, work queues dry, checkpoint every "
-        "shard).  See docs/serving.md for the protocol.",
+        "shard).  `serve top` instead attaches to a *running* server "
+        "and renders a live per-shard RED view from its telemetry "
+        "admin verb.  See docs/serving.md for the protocol.",
+    )
+    servep.add_argument(
+        "mode", nargs="?", choices=("top",),
+        help="'top': poll a running server's stats/telemetry verbs and "
+        "render a live per-shard rate/p50/p99/queue view (needs --port)",
     )
     servep.add_argument("--host", default="127.0.0.1")
     servep.add_argument(
@@ -327,6 +334,38 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--no-metrics", action="store_true",
         help="skip per-shard EngineMetrics collection",
     )
+    servep.add_argument(
+        "--telemetry", action="store_true",
+        help="enable request-scoped telemetry: span sampling, per-shard "
+        "RED metrics, and the {'op': 'telemetry'} admin verb",
+    )
+    servep.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="P",
+        help="head-sampling probability for span recording (default 1.0; "
+        "deterministic in the trace id and --telemetry-seed)",
+    )
+    servep.add_argument(
+        "--telemetry-seed", type=int, default=0, metavar="N",
+        help="seed for the deterministic head-sampler",
+    )
+    servep.add_argument(
+        "--trace-out", metavar="OUT.jsonl",
+        help="write sampled request spans as JSONL on drain "
+        "(implies --telemetry)",
+    )
+    servep.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="serve top: seconds between refreshes (default 2)",
+    )
+    servep.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="serve top: stop after N refreshes (0 = until interrupted)",
+    )
+    servep.add_argument(
+        "--prometheus", action="store_true",
+        help="serve top: print one Prometheus text-exposition page "
+        "and exit",
+    )
     _add_ledger_flags(servep)
     loadgenp = sub.add_parser(
         "loadgen",
@@ -360,9 +399,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--json", metavar="OUT.json", help="also write the report as JSON"
     )
     loadgenp.add_argument(
+        "--trace", action="store_true",
+        help="stamp a deterministic trace id (lg-<i>) on every request "
+        "and report the server's per-phase latency attribution "
+        "(needs a server started with --telemetry)",
+    )
+    loadgenp.add_argument(
         "--list-workloads", action="store_true",
         help="print registered workload names and exit",
     )
+    _add_ledger_flags(loadgenp)
     chaosp = sub.add_parser(
         "chaos",
         help="deterministic fault-injection runs of the placement service",
@@ -728,6 +774,8 @@ def _serve(args) -> int:
     from .parallel import ALGORITHM_REGISTRY, _registry
     from .serve import PlacementServer, ServeConfig
 
+    if args.mode == "top":
+        return _serve_top(args)
     if args.algorithm not in _registry():
         print(
             f"unknown algorithm {args.algorithm!r}; options: "
@@ -749,6 +797,10 @@ def _serve(args) -> int:
         resume=args.resume,
         metrics=not args.no_metrics,
         ledger_dir=_ledger_dir(args),
+        telemetry=args.telemetry or args.trace_out is not None,
+        trace_sample=args.trace_sample,
+        telemetry_seed=args.telemetry_seed,
+        trace_out=args.trace_out,
     )
 
     import gc
@@ -793,9 +845,109 @@ def _serve(args) -> int:
         path = getattr(server, "ledger_path", None)
         if path is not None:
             print(f"ledger: {path}")
+        if config.trace_out is not None:
+            print(f"trace: {config.trace_out}")
 
     asyncio.run(_main())
     return 0
+
+
+def _render_top(stats: dict, snap: dict, prev, *, interval: float) -> str:
+    """One refresh frame of the ``serve top`` view.
+
+    Rates are deltas against ``prev`` (the previous snapshot) over the
+    refresh interval; the first frame falls back to lifetime averages.
+    """
+    up = snap.get("uptime_s", 0.0)
+    totals = stats.get("totals", {})
+    lines = [
+        f"serve top: uptime {up:.1f}s  requests {totals.get('requests', 0)}  "
+        f"accepted {totals.get('accepted', 0)}  "
+        f"errors {totals.get('errors', 0)}  "
+        f"sample {snap.get('sample', 0.0):g}  "
+        f"spans {snap.get('trace', {}).get('recorded', 0)}",
+        f"  {'shard':>5s} {'req/s':>9s} {'err':>6s} {'p50_ms':>8s} "
+        f"{'p99_ms':>8s} {'queue':>6s} {'infl':>5s} {'batch':>6s}",
+    ]
+    prev_shards = (prev or {}).get("per_shard", [])
+    for k, shard in enumerate(snap.get("per_shard", [])):
+        counters = shard.get("counters", {})
+        gauges = shard.get("gauges", {})
+        quantiles = shard.get("quantiles", {})
+        requests = counters.get("requests", 0)
+        if k < len(prev_shards) and interval > 0:
+            before = prev_shards[k].get("counters", {}).get("requests", 0)
+            rate = (requests - before) / interval
+        else:
+            rate = requests / up if up > 0 else 0.0
+        batch = shard.get("histograms", {}).get("batch_size", {})
+        lines.append(
+            f"  {k:>5d} {rate:>9.1f} {counters.get('errors', 0):>6d} "
+            f"{1e3 * quantiles.get('p50_s', 0.0):>8.3f} "
+            f"{1e3 * quantiles.get('p99_s', 0.0):>8.3f} "
+            f"{gauges.get('queue_depth', {}).get('value', 0):>6.0f} "
+            f"{gauges.get('inflight', {}).get('value', 0):>5.0f} "
+            f"{batch.get('mean', 0.0):>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _serve_top(args) -> int:
+    """Attach to a running server and render its live telemetry."""
+    import asyncio
+
+    from .serve import PlacementClient, render_service_prometheus
+
+    if not args.port:
+        print("serve top: --port is required", file=sys.stderr)
+        return 1
+
+    async def _snapshot(client):
+        reply = await client.telemetry()
+        if not reply.get("ok") or reply.get("snapshot") is None:
+            print(
+                "serve top: the server has telemetry disabled "
+                "(restart it with --telemetry)",
+                file=sys.stderr,
+            )
+            return None
+        return reply["snapshot"]
+
+    async def _main() -> int:
+        client = await PlacementClient.connect(args.host, args.port)
+        try:
+            if args.prometheus:
+                snap = await _snapshot(client)
+                if snap is None:
+                    return 1
+                print(render_service_prometheus(snap), end="")
+                return 0
+            prev = None
+            frames = 0
+            while True:
+                stats = await client.stats()
+                snap = await _snapshot(client)
+                if snap is None:
+                    return 1
+                print(
+                    _render_top(stats, snap, prev, interval=args.interval),
+                    flush=True,
+                )
+                prev = snap
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    return 0
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.aclose()
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"serve top: {exc}", file=sys.stderr)
+        return 1
 
 
 def _loadgen(args) -> int:
@@ -825,6 +977,7 @@ def _loadgen(args) -> int:
                 rate=args.rate,
                 connections=args.connections,
                 workload=args.workload,
+                trace=args.trace,
             )
         )
     except (ConnectionError, OSError, ValueError) as exc:
@@ -836,6 +989,27 @@ def _loadgen(args) -> int:
             _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.json}")
+    ledger_dir = _ledger_dir(args)
+    if ledger_dir is not None:
+        from .obs.ledger import LedgerSink
+
+        sink = LedgerSink(
+            kind="loadgen",
+            algorithm=str(report.server_stats.get("algorithm", "?"))
+            if report.server_stats
+            else "?",
+            generator=args.workload,
+            config={
+                "items": args.items,
+                "rate": args.rate,
+                "connections": args.connections,
+                "trace": args.trace,
+            },
+            seed=args.seed,
+            ledger_dir=ledger_dir,
+        )
+        sink.emit(report.ledger_snapshot())
+        print(f"ledger: {sink.last_path}")
     return 0
 
 

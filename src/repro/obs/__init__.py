@@ -41,6 +41,7 @@ from .export import (
     JSONSink,
     MemorySink,
     MetricsSink,
+    render_prometheus,
     render_summary,
     summarize_trace,
 )
@@ -127,6 +128,7 @@ __all__ = [
     "CallbackSink",
     "MemorySink",
     "render_summary",
+    "render_prometheus",
     "summarize_trace",
     # invariants
     "InvariantMonitor",

@@ -34,6 +34,7 @@ __all__ = [
     "CallbackSink",
     "MemorySink",
     "render_summary",
+    "render_prometheus",
     "summarize_trace",
 ]
 
@@ -155,6 +156,86 @@ def render_summary(snapshot: dict) -> str:
                     f"max={h.get('max_us', 0.0):.1f}us"
                 )
     return "\n".join(lines)
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    out = f"{prefix}_{name}" if prefix else name
+    return "".join(
+        c if c.isalnum() or c in "_:" else "_" for c in out
+    )
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _bucket_upper(label: str) -> str:
+    """The ``le`` value encoded in a snapshot bucket label.
+
+    Bucket labels come from :meth:`Histogram.to_dict` — ``"<= e"``,
+    ``"(a, b]"``, or ``"> last"`` (the overflow bucket, which maps to
+    ``+Inf``).
+    """
+    label = label.strip()
+    if label.startswith("<="):
+        return label[2:].strip()
+    if label.startswith(">"):
+        return "+Inf"
+    # "(a, b]" — the upper edge is after the comma
+    return label.rstrip("]").split(",")[-1].strip()
+
+
+def render_prometheus(snapshot: dict, *, prefix="repro", labels=None) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Accepts the same snapshot shape every registry in the repo emits —
+    ``counters`` (name → int), ``gauges`` (name → ``Gauge.to_dict()``),
+    ``histograms``/``timings`` (name → ``Histogram.to_dict()`` /
+    ``Timing.to_dict()``) — and maps them onto the conventional series:
+    counters get a ``_total`` suffix, histograms become cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, timings become
+    ``_seconds_sum``/``_seconds_count``.  ``labels`` (e.g.
+    ``{"shard": 0}``) are stamped on every series, which is how
+    per-shard snapshots compose into one scrape page.
+    """
+    tag = _prom_labels(labels)
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{tag} {value}")
+    for name, g in snapshot.get("gauges", {}).items():
+        metric = _prom_name(prefix, name)
+        value = g.get("value", g) if isinstance(g, dict) else g
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{tag} {value}")
+    for name, h in snapshot.get("histograms", {}).items():
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for label, count in h.get("buckets", {}).items():
+            cumulative += count
+            le = _bucket_upper(label)
+            if tag:
+                bucket_tag = tag[:-1] + f',le="{le}"}}'
+            else:
+                bucket_tag = f'{{le="{le}"}}'
+            lines.append(f"{metric}_bucket{bucket_tag} {cumulative}")
+        total = h.get("total", 0)
+        mean = h.get("mean", 0.0)
+        lines.append(f"{metric}_sum{tag} {mean * total}")
+        lines.append(f"{metric}_count{tag} {total}")
+    for name, t in snapshot.get("timings", {}).items():
+        metric = _prom_name(prefix, name) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum{tag} {t.get('total_s', 0.0)}")
+        lines.append(f"{metric}_count{tag} {t.get('count', 0)}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def summarize_trace(path: Union[str, pathlib.Path]) -> str:

@@ -90,6 +90,7 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
 #: provenance noise, never deterministic across machines)
 NONDETERMINISTIC_PREFIXES = (
     "metrics.timings",
+    "metrics.telemetry",
     "profile",
     "wall_s",
     "peak_rss_kb",

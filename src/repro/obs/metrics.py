@@ -173,6 +173,30 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        Linear interpolation inside the bucket that straddles rank
+        ``q * total`` (the underflow bucket interpolates from 0, the
+        overflow bucket conservatively reports the last edge — the true
+        value is at least that).  Exact enough for p50/p99 dashboards;
+        never a substitute for a full sample.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if seen + c >= rank and c:
+                frac = (rank - seen) / c
+                lo = 0.0 if i == 0 else self.edges[i - 1]
+                hi = self.edges[i] if i < len(self.edges) else self.edges[-1]
+                return lo + (hi - lo) * frac
+            seen += c
+        return self.edges[-1]
+
     def merge(self, other: "Histogram") -> None:
         """Bucket-wise sum; both histograms must share the same edges."""
         if other.edges != self.edges:

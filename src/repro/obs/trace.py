@@ -1,7 +1,10 @@
 """Lightweight span/event tracing with a bounded ring buffer.
 
 A :class:`Tracer` records two kinds of entries, timestamped off a
-monotonic ``perf_counter_ns`` epoch fixed at construction:
+monotonic ``perf_counter_ns`` epoch fixed at construction (or an
+injected ``clock_ns`` — the serve telemetry plane passes the service
+clock through so traces recorded under the chaos harness's virtual
+clock are a pure function of the fault plan):
 
 - **events** — instantaneous points (``dur_ns == 0``);
 - **spans** — nested regions opened with the :meth:`Tracer.span` context
@@ -89,10 +92,19 @@ class Tracer:
         When false every recording call is a cheap no-op.  Decide this
         before attaching the tracer to an engine/kernel: frontends may
         skip wiring a disabled tracer entirely.
+    clock_ns:
+        Nanosecond clock used for the epoch and every timestamp;
+        defaults to ``time.perf_counter_ns``.  Inject a deterministic
+        clock (e.g. the :class:`~repro.testkit.clock.SimLoop` time) to
+        make recorded traces replayable bit-for-bit.
     """
 
     def __init__(
-        self, capacity: int = DEFAULT_CAPACITY, *, enabled: bool = True
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        enabled: bool = True,
+        clock_ns=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -100,10 +112,16 @@ class Tracer:
         self.enabled = enabled
         self._buf: deque[TraceEvent] = deque(maxlen=capacity)
         self._stack: List[str] = []
-        self._epoch = time.perf_counter_ns()
+        self._clock_ns = clock_ns if clock_ns is not None else time.perf_counter_ns
+        self._epoch = self._clock_ns()
         self.total = 0  #: entries ever recorded (including evicted ones)
 
     # ------------------------------------------------------------------ #
+    @property
+    def epoch_ns(self) -> int:
+        """The clock reading all timestamps are relative to."""
+        return self._epoch
+
     @property
     def depth(self) -> int:
         """Current span-nesting depth."""
@@ -136,11 +154,36 @@ class Tracer:
             TraceEvent(
                 name,
                 "event",
-                time.perf_counter_ns() - self._epoch,
+                self._clock_ns() - self._epoch,
                 0,
                 len(self._stack),
                 fields,
             )
+        )
+        self.total += 1
+
+    def record(
+        self,
+        name: str,
+        *,
+        t_ns: int,
+        dur_ns: int = 0,
+        depth: int = 0,
+        **fields,
+    ) -> None:
+        """Append a pre-timed span measured outside the tracer.
+
+        The context-manager :meth:`span` only works for regions confined
+        to one call stack; request phases that hop across coroutines
+        (queue wait, batch residency) are timed by their owners and
+        recorded here after the fact.  ``t_ns`` is relative to the
+        tracer's epoch — callers timing with the same injected clock can
+        pass ``t - epoch_ns`` directly.
+        """
+        if not self.enabled:
+            return
+        self._buf.append(
+            TraceEvent(name, "span", t_ns, dur_ns, depth, fields)
         )
         self.total += 1
 
@@ -151,11 +194,11 @@ class Tracer:
             yield
             return
         self._stack.append(name)
-        start = time.perf_counter_ns()
+        start = self._clock_ns()
         try:
             yield
         finally:
-            dur = time.perf_counter_ns() - start
+            dur = self._clock_ns() - start
             self._stack.pop()
             self._buf.append(
                 TraceEvent(

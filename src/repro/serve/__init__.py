@@ -16,6 +16,9 @@ it was freshly opened) as replies.  The moving pieces:
 - :mod:`repro.serve.transport` — the network seam: real TCP by
   default, or the chaos harness's simulated fault-injecting net
   (:mod:`repro.testkit`);
+- :mod:`repro.serve.telemetry` — request-scoped tracing (span trees
+  with deterministic head-sampling), per-shard RED metrics, and the
+  ``{"op": "telemetry"}`` admin plane behind ``repro-dbp serve top``;
 - :mod:`repro.serve.client` — a pipelined async client;
 - :mod:`repro.serve.loadgen` — an open-loop load generator with
   latency percentiles;
@@ -47,13 +50,25 @@ from .protocol import (
 )
 from .server import PlacementServer, ServeConfig
 from .shard import HashRing, PlacementShard, stable_hash
+from .telemetry import (
+    BATCH_SIZE_EDGES,
+    PHASES,
+    GatedNarrator,
+    RequestContext,
+    ServiceTelemetry,
+    ShardTelemetry,
+    render_service_prometheus,
+)
 from .transport import TcpTransport, Transport
 
 __all__ = [
+    "BATCH_SIZE_EDGES",
     "ERROR_CODES",
     "OPS",
+    "PHASES",
     "PROTOCOL_VERSION",
     "RETRYABLE_ERROR_CODES",
+    "GatedNarrator",
     "HashRing",
     "LoadReport",
     "MicroBatcher",
@@ -62,8 +77,11 @@ __all__ = [
     "PlacementShard",
     "ProtocolError",
     "Request",
+    "RequestContext",
     "ServeConfig",
     "ServiceParityReport",
+    "ServiceTelemetry",
+    "ShardTelemetry",
     "TcpTransport",
     "Transport",
     "WORKLOADS",
@@ -72,6 +90,7 @@ __all__ = [
     "make_workload",
     "ok_reply",
     "parse_request",
+    "render_service_prometheus",
     "run_loadgen",
     "service_parity_suite",
     "stable_hash",

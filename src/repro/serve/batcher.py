@@ -44,6 +44,13 @@ class MicroBatcher:
     max_delay:
         Flush this many seconds after the *first* pending piece arrived,
         even if the batch is not full.  ``0`` disables batching.
+    observer:
+        Optional ``observer(size, cause)`` called synchronously on every
+        flush with the batch size and what triggered it (``"size"``,
+        ``"age"``, or ``"forced"`` for explicit :meth:`flush`/
+        :meth:`aclose` calls).  The telemetry plane uses this for its
+        batch-size histogram and flush-cause counters; ``None`` (the
+        default) costs nothing.
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class MicroBatcher:
         *,
         max_batch: int = 1,
         max_delay: float = 0.0,
+        observer: Optional[Callable[[int, str], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -60,6 +68,7 @@ class MicroBatcher:
         self.sink = sink
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.observer = observer
         self.batches_flushed = 0
         self.pieces = 0
         self._pending: List = []
@@ -80,7 +89,7 @@ class MicroBatcher:
             len(self._pending) >= self.max_batch
             or self.max_delay == 0.0
         ):
-            await self.flush()
+            await self.flush(cause="size")
         elif self._timer is None:
             loop = asyncio.get_running_loop()
             self._timer = loop.call_later(self.max_delay, self._fire)
@@ -95,11 +104,11 @@ class MicroBatcher:
 
     async def _timed_flush(self) -> None:
         try:
-            await self.flush()
+            await self.flush(cause="age")
         finally:
             self._flush_task = None
 
-    async def flush(self) -> None:
+    async def flush(self, *, cause: str = "forced") -> None:
         """Hand everything pending to the sink now (no-op when empty)."""
         if self._timer is not None:
             self._timer.cancel()
@@ -108,6 +117,8 @@ class MicroBatcher:
             return
         batch, self._pending = self._pending, []
         self.batches_flushed += 1
+        if self.observer is not None:
+            self.observer(len(batch), cause)
         await self.sink(batch)
 
     async def aclose(self) -> None:

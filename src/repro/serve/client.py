@@ -158,6 +158,10 @@ class PlacementClient:
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
 
+    async def telemetry(self) -> dict:
+        """Fetch the server's live telemetry snapshot (the admin verb)."""
+        return await self.request({"op": "telemetry"})
+
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})
 

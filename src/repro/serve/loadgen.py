@@ -167,6 +167,9 @@ class LoadReport:
     p99_ms: float = 0.0
     max_ms: float = 0.0
     server_stats: Optional[dict] = None
+    #: the server's telemetry snapshot (``--trace`` runs only): the
+    #: server-side phase attribution that answers "where did the p99 go"
+    server_telemetry: Optional[dict] = None
 
     @property
     def achieved_rps(self) -> float:
@@ -190,7 +193,61 @@ class LoadReport:
                 "max": self.max_ms,
             },
             "server_stats": self.server_stats,
+            "server_telemetry": self.server_telemetry,
         }
+
+    def ledger_snapshot(self) -> dict:
+        """This report in the run-ledger snapshot shape.
+
+        Deterministic reply counts land under ``counters`` (gated by the
+        regression sentinel); every wall-clock quantity goes under
+        ``timings`` (never gated), so a ``kind="loadgen"`` record sits
+        next to the server's ``kind="serve"`` record in ``obs diff``
+        without tripping latency noise.
+        """
+        return {
+            "counters": {
+                "ok": self.ok,
+                "errors": self.errors,
+                **{
+                    f"errors_{code}": n
+                    for code, n in sorted(self.error_codes.items())
+                },
+            },
+            "timings": {
+                "client_latency_ms": {
+                    "p50": self.p50_ms,
+                    "p90": self.p90_ms,
+                    "p99": self.p99_ms,
+                    "max": self.max_ms,
+                },
+                "offered_rps": self.offered_rps,
+                "achieved_rps": self.achieved_rps,
+                "duration_s": self.duration_s,
+            },
+        }
+
+    def _phase_lines(self) -> List[str]:
+        """Server-side phase attribution from the telemetry snapshot."""
+        snap = self.server_telemetry or {}
+        merged = snap.get("merged", {})
+        timings = merged.get("timings", {})
+        if not timings:
+            return []
+        q = merged.get("quantiles", {})
+        lines = [
+            f"  server: p50={1e3 * q.get('p50_s', 0.0):.3f}ms "
+            f"p99={1e3 * q.get('p99_s', 0.0):.3f}ms "
+            f"(sampled spans: {snap.get('trace', {}).get('recorded', 0)})"
+        ]
+        for name, t in timings.items():
+            phase = name.removeprefix("phase_")
+            lines.append(
+                f"    {phase:>6s}: mean={t.get('mean_us', 0.0):8.1f}us "
+                f"max={t.get('max_us', 0.0):10.1f}us "
+                f"(n={t.get('count', 0)})"
+            )
+        return lines
 
     def render(self) -> str:
         lines = [
@@ -203,6 +260,7 @@ class LoadReport:
             f"  latency: p50={self.p50_ms:.3f}ms p90={self.p90_ms:.3f}ms "
             f"p99={self.p99_ms:.3f}ms max={self.max_ms:.3f}ms",
         ]
+        lines += self._phase_lines()
         return "\n".join(lines)
 
 
@@ -215,6 +273,7 @@ async def run_loadgen(
     connections: int = 1,
     workload: str = "instance",
     fetch_stats: bool = True,
+    trace: bool = False,
 ) -> LoadReport:
     """Replay ``instance`` as open-loop traffic; measure reply latency.
 
@@ -222,6 +281,12 @@ async def run_loadgen(
     (in arrival order) is scheduled at ``t0 + i/rate``.  Items go
     round-robin to ``connections`` pipelined connections, each tagged
     with a per-connection tenant key.
+
+    With ``trace=True`` every request carries a deterministic trace id
+    (``lg-<i>``) so a telemetry-enabled server records span trees for
+    the run, and the report fetches the server's telemetry snapshot —
+    its per-phase latency attribution — alongside the client-observed
+    percentiles.
     """
     if rate <= 0:
         raise ValueError(f"rate must be positive, got {rate}")
@@ -281,20 +346,18 @@ async def run_loadgen(
             if delay > 0:
                 await asyncio.sleep(delay)
             item = items[i]
+            request = {
+                "op": "arrive",
+                "id": item.uid,
+                "tenant": tenant,
+                "arrival": item.arrival,
+                "departure": item.departure,
+                "size": item.size,
+            }
+            if trace:
+                request["trace"] = f"lg-{i}"
             waiters.append(
-                measured(
-                    client.submit(
-                        {
-                            "op": "arrive",
-                            "id": item.uid,
-                            "tenant": tenant,
-                            "arrival": item.arrival,
-                            "departure": item.departure,
-                            "size": item.size,
-                        }
-                    ),
-                    _time.perf_counter(),
-                )
+                measured(client.submit(request), _time.perf_counter())
             )
             await client.drain_writes()
         # exceptions are already tallied by _record; re-raising here
@@ -315,8 +378,12 @@ async def run_loadgen(
         await asyncio.gather(*(sender(j) for j in range(connections)))
         duration = _time.perf_counter() - t0
         server_stats = None
+        server_telemetry = None
         if fetch_stats:
             server_stats = await clients[0].stats()
+        if trace:
+            reply = await clients[0].telemetry()
+            server_telemetry = reply.get("snapshot")
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -338,4 +405,5 @@ async def run_loadgen(
         p99_ms=1e3 * _percentile(latencies, 0.99),
         max_ms=1e3 * (latencies[-1] if latencies else 0.0),
         server_stats=server_stats,
+        server_telemetry=server_telemetry,
     )

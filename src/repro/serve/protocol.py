@@ -17,11 +17,14 @@ Requests
     {"op": "depart", "id": 7, "time": 3.0}      # adaptive items only
     {"op": "advance", "time": 10.0}             # move every shard's clock
     {"op": "stats"}                             # service-wide snapshot
+    {"op": "telemetry"}                         # RED/tracing snapshot
     {"op": "ping"}
 
 ``seq`` is an optional client-chosen correlation token echoed verbatim
 in the reply; pipelined clients need it because replies from different
-shards may interleave.  ``tenant`` (falling back to ``id``) is the
+shards may interleave.  ``trace`` is an optional client-chosen trace id
+(string or int): when telemetry is enabled the server records a span
+tree under that id and echoes it in the reply.  ``tenant`` (falling back to ``id``) is the
 consistent-hash **routing key** — requests sharing a key always land on
 the same shard, which is what keeps per-shard decision streams
 deterministic.  ``v`` optionally pins the protocol version.
@@ -73,7 +76,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: operations a client may request
-OPS = ("arrive", "depart", "advance", "stats", "ping")
+OPS = ("arrive", "depart", "advance", "stats", "ping", "telemetry")
 
 #: machine-readable error codes a reply's ``error`` field may carry
 ERROR_CODES = (
@@ -128,6 +131,10 @@ class Request:
     #: applied exactly once per ``(client, seq)`` — a resend of an
     #: already-applied request returns the original reply verbatim
     client: Optional[str] = None
+    #: optional client-chosen trace id, echoed in the reply and used by
+    #: the telemetry plane to label this request's span tree; when
+    #: absent the server derives one (``client:seq`` or a local counter)
+    trace: Optional[str] = None
 
     @property
     def dedup_key(self) -> Optional[tuple]:
@@ -226,6 +233,7 @@ def parse_request(line: Union[str, bytes]) -> Request:
         )
     tenant = _ident(obj, "tenant", seq, required=False)
     client = _ident(obj, "client", seq, required=False)
+    trace = _ident(obj, "trace", seq, required=False)
     if op == "arrive":
         req = Request(
             op=op,
@@ -236,6 +244,7 @@ def parse_request(line: Union[str, bytes]) -> Request:
             departure=_number(obj, "departure", seq, required=False),
             size=_number(obj, "size", seq),
             client=client,
+            trace=trace,
         )
         try:  # full item semantics (size in (0,1], departure > arrival, …)
             # columnar validation: same checks and messages as Item,
@@ -252,10 +261,13 @@ def parse_request(line: Union[str, bytes]) -> Request:
             tenant=tenant,
             time=_number(obj, "time", seq),
             client=client,
+            trace=trace,
         )
     if op == "advance":
-        return Request(op=op, seq=seq, time=_number(obj, "time", seq))
-    return Request(op=op, seq=seq)  # stats / ping
+        return Request(
+            op=op, seq=seq, time=_number(obj, "time", seq), trace=trace
+        )
+    return Request(op=op, seq=seq, trace=trace)  # stats / ping / telemetry
 
 
 def ok_reply(op: str, *, seq=None, **fields) -> dict:

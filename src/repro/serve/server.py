@@ -76,6 +76,10 @@ class ServeConfig:
     metrics: bool = True  #: per-shard EngineMetrics (merged in stats)
     ledger_dir: Optional[Union[str, pathlib.Path]] = None  #: None = no ledger
     generator: str = "live"  #: workload identity stamped on ledger records
+    telemetry: bool = False  #: request-scoped tracing + RED metrics
+    trace_sample: float = 1.0  #: head-sampling rate for span trees
+    telemetry_seed: int = 0  #: salt of the deterministic sampling hash
+    trace_out: Optional[Union[str, pathlib.Path]] = None  #: JSONL on drain
 
     def shard_checkpoint(self, shard_id: int) -> pathlib.Path:
         if self.checkpoint_dir is None:
@@ -113,11 +117,30 @@ class PlacementServer:
         registry=None,
         transport: Optional[Transport] = None,
         clock: Optional[Callable[[], float]] = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.transport = transport if transport is not None else TcpTransport()
         self._now = clock if clock is not None else _time.perf_counter
         self._shard_clock = clock
+        # the telemetry plane: an injected ServiceTelemetry (the chaos
+        # harness shares one across graceful restarts so RED counters
+        # survive the crash cycle), one built from config, or None —
+        # and None keeps every hot-path hook a single attribute check
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif config.telemetry:
+            from .telemetry import ServiceTelemetry
+
+            self.telemetry = ServiceTelemetry(
+                config.shards,
+                clock=self._now,
+                sample=config.trace_sample,
+                seed=config.telemetry_seed,
+                trace_path=config.trace_out,
+            )
+        else:
+            self.telemetry = None
         if registry is None:
             from ..parallel import _registry
 
@@ -172,15 +195,35 @@ class PlacementServer:
                     clock=self._shard_clock,
                 )
             self.shards.append(shard)
+            observer = None
+            if self.telemetry is not None:
+                from .telemetry import GatedNarrator
+
+                shard.attach_telemetry(
+                    self.telemetry.shards[k],
+                    GatedNarrator(self.telemetry.tracer),
+                )
+                observer = self._make_batch_observer(k)
             self.batchers.append(
                 MicroBatcher(
                     self._make_sink(shard),
                     max_batch=cfg.batch_max,
                     max_delay=cfg.batch_delay,
+                    observer=observer,
                 )
             )
 
+    def _make_batch_observer(self, shard_id: int):
+        telemetry = self.telemetry
+
+        def observer(size: int, cause: str) -> None:
+            telemetry.batch_flushed(shard_id, size, cause)
+
+        return observer
+
     def _make_sink(self, shard: PlacementShard):
+        telemetry = self.telemetry
+
         async def sink(batch: list) -> None:
             # simultaneous arrivals: stable sort by arrival inside the
             # micro-batch mirrors Instance order (ties keep submit order)
@@ -191,6 +234,12 @@ class PlacementServer:
                 for req, future, _ in batch:
                     shard._fail_future(req, future)
                 return
+            if telemetry is not None:
+                t_queued = self._now()
+                for job in batch:
+                    ctx = job[2]
+                    if ctx is not None and type(ctx) is not float:
+                        ctx.t_queued = t_queued
             await shard.queue.put(batch)
 
         return sink
@@ -260,6 +309,11 @@ class PlacementServer:
                 )
         if self.config.ledger_dir is not None:
             self._write_ledger()
+        if (
+            self.telemetry is not None
+            and self.telemetry.trace_path is not None
+        ):
+            self.telemetry.write_trace()
         for conn in list(self._connections):
             conn.out.put_nowait(None)  # writer sentinel → close
         self.drained.set()
@@ -334,7 +388,13 @@ class PlacementServer:
                 # write + one drain, not one syscall round-trip per reply
                 reply = await conn.out.get()
                 chunks = []
+                finished = None  # telemetry contexts riding with replies
                 while reply is not None:
+                    if type(reply) is tuple:
+                        reply, ctx = reply
+                        if finished is None:
+                            finished = []
+                        finished.append(ctx)
                     chunks.append(encode(reply))
                     try:
                         reply = conn.out.get_nowait()
@@ -345,6 +405,12 @@ class PlacementServer:
                 if chunks:
                     writer.write(b"".join(chunks))
                     await writer.drain()
+                    if finished is not None:
+                        # one timestamp for the coalesced chunk: the
+                        # write phase ends when the bytes are flushed
+                        t_written = self._now()
+                        for ctx in finished:
+                            self.telemetry.finish(ctx, t_written)
         except (ConnectionError, RuntimeError):
             pass  # peer went away mid-write; nothing left to tell it
         finally:
@@ -355,10 +421,13 @@ class PlacementServer:
 
     async def _dispatch(self, line: bytes, conn: _Connection) -> None:
         t_recv = self._now()
+        telemetry = self.telemetry
         try:
             req = parse_request(line)
         except ProtocolError as exc:
             self._count_error(exc.code)
+            if telemetry is not None:
+                telemetry.parse_error(exc.code)
             conn.out.put_nowait(exc.reply())
             return
         self.requests += 1
@@ -370,8 +439,14 @@ class PlacementServer:
         if req.op == "stats":
             conn.out.put_nowait(self._stats_reply(req))
             return
+        if req.op == "telemetry":
+            # admin plane — answered even while draining, like stats
+            conn.out.put_nowait(self._telemetry_reply(req))
+            return
         if self.draining:
             self._count_error("draining")
+            if telemetry is not None:
+                telemetry.refused(None, "draining")
             conn.out.put_nowait(
                 error_reply(
                     "draining", "server is draining; no new work",
@@ -386,6 +461,8 @@ class PlacementServer:
         shard = self.shards[shard_id]
         if shard.crashed:
             self._count_error("unavailable")
+            if telemetry is not None:
+                telemetry.refused(shard_id, "unavailable")
             conn.out.put_nowait(
                 error_reply(
                     "unavailable",
@@ -397,6 +474,8 @@ class PlacementServer:
             return
         if shard.queue.full():
             self._count_error("overloaded")
+            if telemetry is not None:
+                telemetry.refused(shard_id, "overloaded")
             conn.out.put_nowait(
                 error_reply(
                     "overloaded",
@@ -407,24 +486,52 @@ class PlacementServer:
             )
             return
         future = asyncio.get_running_loop().create_future()
-        self._track(future, conn)
+        # with telemetry off the job's third slot is the bare t_recv
+        # float (the pre-telemetry wire format, zero extra allocation);
+        # with it on, a RequestContext carrying the same t_recv
+        ctx = t_recv
+        if telemetry is not None:
+            ctx = telemetry.begin(req, shard_id, t_recv)
+            telemetry.shards[shard_id].queue_depth.set(shard.queue.qsize())
+        shard.inflight += 1
+        self._track(future, conn, shard, ctx)
         if req.op == "depart":
             # ordering: a depart must see every arrival submitted before
             # it, so the shard's pending micro-batch flushes first
             await self.batchers[shard_id].flush()
-            await shard.queue.put([(req, future, t_recv)])
+            if telemetry is not None:
+                ctx.t_enqueued = ctx.t_queued = self._now()
+            await shard.queue.put([(req, future, ctx)])
         else:
-            await self.batchers[shard_id].add((req, future, t_recv))
+            if telemetry is not None:
+                ctx.t_enqueued = self._now()
+            await self.batchers[shard_id].add((req, future, ctx))
 
-    def _track(self, future: asyncio.Future, conn: _Connection) -> None:
+    def _track(
+        self,
+        future: asyncio.Future,
+        conn: _Connection,
+        shard: PlacementShard,
+        ctx,
+    ) -> None:
         conn.pending.add(future)
 
         def _done(fut: asyncio.Future) -> None:
             conn.pending.discard(fut)
+            shard.inflight -= 1
             reply = fut.result()
             if reply.get("ok") is False:
                 self._count_error(reply.get("error", "internal"))
-            conn.out.put_nowait(reply)
+            if type(ctx) is float:
+                conn.out.put_nowait(reply)
+            else:
+                ctx.t_done = self._now()
+                ctx.status = (
+                    "ok" if reply.get("ok")
+                    else reply.get("error", "internal")
+                )
+                reply["trace"] = ctx.trace
+                conn.out.put_nowait((reply, ctx))
 
         future.add_done_callback(_done)
 
@@ -452,6 +559,12 @@ class PlacementServer:
             advance = Request(op="advance", seq=req.seq, time=req.time)
             fut = asyncio.get_running_loop().create_future()
             futures.append(fut)
+            shard.inflight += 1
+
+            def _untrack(f, s=shard) -> None:
+                s.inflight -= 1
+
+            fut.add_done_callback(_untrack)
             if shard.crashed:  # fail-stopped while we awaited the flush
                 shard._fail_future(advance, fut)
             else:
@@ -514,6 +627,8 @@ class PlacementServer:
             "bins_opened": sum(s["bins_opened"] for s in per_shard),
             "max_open": sum(s["max_open"] for s in per_shard),
             "cost": sum(s["cost"] for s in per_shard),
+            "queue_depth": sum(s["queue_depth"] for s in per_shard),
+            "inflight": sum(s["inflight"] for s in per_shard),
             "time": max(times) if times else None,
         }
 
@@ -530,6 +645,19 @@ class PlacementServer:
             request_latency=self.merged_request_latency().to_dict(),
         )
 
+    def _telemetry_reply(self, req: Request) -> dict:
+        if self.telemetry is None:
+            return ok_reply(
+                "telemetry", seq=req.seq, v=PROTOCOL_VERSION, enabled=False
+            )
+        return ok_reply(
+            "telemetry",
+            seq=req.seq,
+            v=PROTOCOL_VERSION,
+            enabled=True,
+            snapshot=self.telemetry.snapshot(self.shards),
+        )
+
     def _metrics_snapshot(self) -> dict:
         merged = self.merged_metrics()
         snap = merged.snapshot() if merged is not None else {}
@@ -537,6 +665,10 @@ class PlacementServer:
             self.merged_request_latency().to_dict()
         )
         snap["service"] = self.totals()
+        if self.telemetry is not None:
+            # excluded from sentinel gating via NONDETERMINISTIC_PREFIXES
+            # ("metrics.telemetry"): durations are wall-clock noise
+            snap["telemetry"] = self.telemetry.snapshot(self.shards)
         return snap
 
     def __repr__(self) -> str:

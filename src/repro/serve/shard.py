@@ -155,6 +155,14 @@ class PlacementShard:
         self.request_latency = Histogram(LATENCY_EDGES)
         self.accepted = 0  # arrive requests committed into the kernel
         self.rejected = 0  # requests answered with a structured error
+        #: tracked request futures currently outstanding on this shard
+        #: (incremented by the server at enqueue, decremented when the
+        #: reply future resolves) — surfaced per shard by ``stats``
+        self.inflight = 0
+        #: telemetry plane hooks (None = telemetry off, zero overhead):
+        #: the shard's RED registry and the gated kernel-event narrator
+        self.telemetry = None
+        self._narrator = None
         self._adaptive_uids: dict[str, int] = {}  # live unknown-departure ids
         #: columnar decode buffer: arrive payloads land here as store
         #: rows (validated once, no boxed Item per request) before the
@@ -175,6 +183,21 @@ class PlacementShard:
         self._durable: Optional[dict] = None
         self._stall_until: Optional[float] = None
         self._crash_after_applies: Optional[int] = None
+
+    def attach_telemetry(self, shard_tel, narrator=None) -> None:
+        """Wire this shard into the telemetry plane.
+
+        ``shard_tel`` is the shard's
+        :class:`~repro.serve.telemetry.ShardTelemetry` (fault counters);
+        ``narrator`` the gated kernel-event listener, attached to the
+        engine here and re-attached after every :meth:`recover` /
+        :meth:`restore` (engines are rebuilt, listeners are not
+        checkpointed).
+        """
+        self.telemetry = shard_tel
+        self._narrator = narrator
+        if narrator is not None:
+            self.engine.attach_listener(narrator)
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -213,11 +236,24 @@ class PlacementShard:
                     for req, future, _ in job:
                         self._fail_future(req, future)
                     raise
-                for req, future, t_recv in job:
+                for req, future, ctx in job:
                     if self.crashed:  # fail-stopped mid-batch
                         self._fail_future(req, future)
                         continue
-                    reply = self.apply(req)
+                    if ctx is None or type(ctx) is float:
+                        t_recv = ctx  # telemetry off: ctx IS t_recv
+                        reply = self.apply(req)
+                    else:  # a telemetry RequestContext rides with the job
+                        t_recv = ctx.t_recv
+                        ctx.t_dequeued = self._now()
+                        narrator = self._narrator
+                        if narrator is not None and ctx.sampled:
+                            narrator.active = True
+                        ctx.t_kernel0 = self._now()
+                        reply = self.apply(req)
+                        ctx.t_kernel1 = self._now()
+                        if narrator is not None:
+                            narrator.active = False
                     if t_recv is not None:
                         reply.setdefault("shard", self.shard_id)
                         self.request_latency.observe(self._now() - t_recv)
@@ -263,6 +299,10 @@ class PlacementShard:
             self._task.cancel()
             self._task = None
 
+    def _count_fault(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.faults.inc()
+
     def crash_after(self, applies: int) -> None:
         """Arm a fail-stop after ``applies`` more applied requests.
 
@@ -274,6 +314,7 @@ class PlacementShard:
 
     def stall(self, until: float) -> None:
         """Pause the worker until loop time ``until`` (overload window)."""
+        self._count_fault()
         current = self._stall_until
         self._stall_until = until if current is None else max(current, until)
 
@@ -314,9 +355,12 @@ class PlacementShard:
         self._durable = None
         self.crashed = False
         self._task = None
+        if self._narrator is not None:  # rebuilt engine, fresh fan-out
+            self.engine.attach_listener(self._narrator)
         self.start()
 
     def _do_crash(self) -> None:
+        self._count_fault()
         self._durable = self.durable_image()
         self.crashed = True
         self._fail_queue()
@@ -485,6 +529,7 @@ class PlacementShard:
             "rejected": self.rejected,
             "live_adaptive": len(self._adaptive_uids),
             "queue_depth": self.queue.qsize(),
+            "inflight": self.inflight,
             "crashed": self.crashed,
         }
 

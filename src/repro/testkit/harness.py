@@ -49,6 +49,13 @@ class ChaosReport:
     net_faults: dict = field(default_factory=dict)
     events_fired: List[str] = field(default_factory=list)
     virtual_duration: float = 0.0  #: how much simulated time elapsed
+    #: service telemetry snapshot (``run_chaos(..., telemetry=True)``):
+    #: RED counters survive graceful restarts because the harness owns
+    #: the ServiceTelemetry and hands it to every server incarnation
+    telemetry: Optional[dict] = None
+    #: sampled span trees as JSONL lines (virtual-clock timestamps, so
+    #: two replays of one plan produce byte-identical lists)
+    trace_lines: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -67,6 +74,8 @@ class ChaosReport:
             "net_faults": dict(self.net_faults),
             "events_fired": list(self.events_fired),
             "virtual_duration": self.virtual_duration,
+            "telemetry": self.telemetry,
+            "trace_lines": list(self.trace_lines),
         }
 
     def summary(self) -> str:
@@ -87,18 +96,32 @@ def run_chaos(
     *,
     checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
     registry=None,
+    telemetry: bool = False,
 ) -> ChaosReport:
-    """Execute ``plan`` on a fresh virtual-time universe (see above)."""
+    """Execute ``plan`` on a fresh virtual-time universe (see above).
+
+    ``telemetry=True`` attaches a full-sampling
+    :class:`~repro.serve.telemetry.ServiceTelemetry` on the virtual
+    clock (seeded from the plan) and returns its snapshot plus the
+    sampled span JSONL in the report — a pure function of the plan,
+    like everything else here.
+    """
     if plan.needs_checkpoint_dir() and checkpoint_dir is None:
         with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
-            return run_chaos(plan, checkpoint_dir=tmp, registry=registry)
-    return sim_run(_run_plan(plan, checkpoint_dir, registry))
+            return run_chaos(
+                plan,
+                checkpoint_dir=tmp,
+                registry=registry,
+                telemetry=telemetry,
+            )
+    return sim_run(_run_plan(plan, checkpoint_dir, registry, telemetry))
 
 
 async def _run_plan(
     plan: FaultPlan,
     checkpoint_dir,
     registry,
+    telemetry: bool = False,
 ) -> ChaosReport:
     loop = asyncio.get_running_loop()
     assert isinstance(loop, SimLoop), "run_chaos must drive a SimLoop"
@@ -116,6 +139,16 @@ async def _run_plan(
         generator=plan.workload,
     )
     fired: List[str] = []
+    # the telemetry outlives any one server incarnation: the harness
+    # owns it and hands the same instance to every restart, so RED
+    # counters and the span ring span crash/recover/restart cycles
+    tel = None
+    if telemetry:
+        from ..serve.telemetry import ServiceTelemetry
+
+        tel = ServiceTelemetry(
+            plan.shards, clock=loop.time, sample=1.0, seed=plan.seed
+        )
     # the current server lives in a box so timed events and the client
     # keep working across a graceful restart (which replaces the object)
     box = {}
@@ -124,7 +157,8 @@ async def _run_plan(
         return box["server"].shards[idx]
 
     server = PlacementServer(
-        config, registry=registry, transport=net, clock=loop.time
+        config, registry=registry, transport=net, clock=loop.time,
+        telemetry=tel,
     )
     await server.start()
     box["server"] = server
@@ -180,7 +214,7 @@ async def _run_plan(
             at(
                 event.at,
                 lambda: loop.create_task(_graceful_restart(
-                    box, config, net, loop, port, plan, registry
+                    box, config, net, loop, port, plan, registry, tel
                 )),
                 "restart",
             )
@@ -237,6 +271,16 @@ async def _run_plan(
         handle.cancel()
 
     verdict = check_oracles(plan, client_report, stats, registry=registry)
+    tel_snapshot = None
+    trace_lines: List[str] = []
+    if tel is not None:
+        import json as _json
+
+        tel_snapshot = tel.snapshot(box["server"].shards)
+        trace_lines = [
+            _json.dumps(ev.to_dict(), sort_keys=True)
+            for ev in tel.tracer.events()
+        ]
     return ChaosReport(
         plan=plan,
         verdict=verdict,
@@ -244,6 +288,8 @@ async def _run_plan(
         net_faults=net.fault_counts(),
         events_fired=fired,
         virtual_duration=duration,
+        telemetry=tel_snapshot,
+        trace_lines=trace_lines,
     )
 
 
@@ -259,14 +305,16 @@ def _plan_items(plan: FaultPlan):
 
 
 async def _graceful_restart(
-    box, config: ServeConfig, net: SimNet, loop, port: int, plan, registry
+    box, config: ServeConfig, net: SimNet, loop, port: int, plan, registry,
+    tel=None,
 ) -> None:
     """Drain the server to checkpoint files, then resume a fresh one.
 
     The full persistence cycle under traffic: clients see ``draining``
     refusals, then dead connections, then ``ConnectionRefusedError`` —
     all retryable — and finally a server whose shards continue their
-    decision streams bit-for-bit from the checkpoint files.
+    decision streams bit-for-bit from the checkpoint files.  The shared
+    ``tel`` (if any) carries telemetry across the incarnation boundary.
     """
     old = box["server"]
     await old.drain()
@@ -275,6 +323,7 @@ async def _graceful_restart(
         registry=registry,
         transport=net,
         clock=loop.time,
+        telemetry=tel,
     )
     await new.start()
     if plan.disable_dedup:

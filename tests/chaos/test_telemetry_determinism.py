@@ -1,0 +1,90 @@
+"""Telemetry under chaos is a pure function of the fault plan.
+
+The tentpole claim of the telemetry plane: because the tracer is driven
+by the :class:`~repro.testkit.clock.SimLoop` virtual clock and the
+head-sampler hashes only ``(seed, trace_id)``, two replays of one
+FaultPlan must produce **byte-identical** sampled span JSONL and
+identical RED counters — even across shard crashes, stalls, and a
+graceful restart (the harness threads one ``ServiceTelemetry`` through
+every server incarnation).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.testkit import FaultPlan, generate_plan, run_chaos
+from repro.testkit.faults import ShardEvent
+
+
+def _faulty_plan() -> FaultPlan:
+    """Crash + stall + graceful restart, all before the heal point."""
+    return FaultPlan(
+        seed=11,
+        shards=2,
+        n_items=60,
+        events=[
+            ShardEvent(kind="crash", at=0.05, shard=0),
+            ShardEvent(kind="recover", at=0.12, shard=0),
+            ShardEvent(kind="stall", at=0.15, shard=1, duration=0.05),
+            ShardEvent(kind="restart", at=0.22),
+        ],
+    )
+
+
+def test_two_replays_agree_byte_for_byte():
+    plan = _faulty_plan()
+    first = run_chaos(plan, telemetry=True)
+    second = run_chaos(plan, telemetry=True)
+    assert first.ok and second.ok, (first.failures, second.failures)
+
+    # sampled span JSONL: byte-identical, and non-trivial
+    assert first.trace_lines, "the run must have recorded spans"
+    assert first.trace_lines == second.trace_lines
+    # every line is valid JSON with the span schema
+    root_spans = 0
+    for line in first.trace_lines:
+        ev = json.loads(line)
+        assert {"name", "kind", "t_ns", "depth"} <= set(ev)
+        if ev["name"] == "request":
+            root_spans += 1
+            assert ev["depth"] == 0 and ev["fields"]["trace"]
+    assert root_spans > 0
+
+    # RED counters: identical, and they saw the injected faults
+    assert first.telemetry == second.telemetry
+    merged = first.telemetry["merged"]["counters"]
+    assert merged["requests"] > 0
+    assert merged["faults"] >= 1  # the crash (and stall) were counted
+    assert json.dumps(first.telemetry, sort_keys=True) == json.dumps(
+        second.telemetry, sort_keys=True
+    )
+
+
+def test_red_counters_survive_graceful_restart():
+    plan = _faulty_plan()
+    report = run_chaos(plan, telemetry=True)
+    assert report.ok, report.failures
+    # requests before the restart are still counted after it: the
+    # harness-owned telemetry outlives the first server incarnation
+    acked = len(report.client.acked)
+    assert report.telemetry["merged"]["counters"]["requests"] >= acked
+    assert "restart@0.22" in report.events_fired
+
+
+def test_generated_plans_stay_deterministic_with_telemetry():
+    plan = generate_plan(5)
+    first = run_chaos(plan, telemetry=True)
+    second = run_chaos(plan, telemetry=True)
+    assert first.trace_lines == second.trace_lines
+    assert first.telemetry == second.telemetry
+    # the verdict itself is unchanged by observing the run
+    assert first.ok == second.ok == run_chaos(plan).ok
+
+
+def test_telemetry_off_report_has_no_telemetry():
+    report = run_chaos(generate_plan(0))
+    assert report.telemetry is None
+    assert report.trace_lines == []
+    obj = report.to_dict()
+    assert obj["telemetry"] is None and obj["trace_lines"] == []

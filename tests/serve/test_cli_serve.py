@@ -188,3 +188,113 @@ class TestNoIndexPropagation:
             assert [s["indexed"] for s in stats["per_shard"]] == [True, True]
         finally:
             stop_server(proc)
+
+
+def serve_top(port: int, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "top",
+         "--port", str(port), *extra],
+        capture_output=True,
+        env=env(),
+        text=True,
+        timeout=60,
+    )
+
+
+class TestTelemetryCli:
+    """The admin plane end to end: --telemetry, serve top, loadgen --trace."""
+
+    def test_serve_top_renders_per_shard_red_view(self):
+        proc, port, _ = start_server(
+            "--telemetry", "--shards", "2", "-a", "FirstFit",
+        )
+        try:
+            result = loadgen(port, "-n", "100", "--rate", "20000",
+                             "--connections", "2")
+            assert result.returncode == 0, result.stderr
+            top = serve_top(port, "--iterations", "2", "--interval", "0.1")
+            assert top.returncode == 0, top.stderr
+            frames = top.stdout
+            assert "serve top:" in frames and "sample 1" in frames
+            # one row per shard, twice (two refresh frames)
+            assert len(re.findall(r"^ +0 +[\d.]+ ", frames, re.M)) == 2
+            assert len(re.findall(r"^ +1 +[\d.]+ ", frames, re.M)) == 2
+            assert "p50_ms" in frames and "queue" in frames
+        finally:
+            stop_server(proc)
+
+    def test_serve_top_prometheus_page(self):
+        proc, port, _ = start_server("--telemetry", "-a", "FirstFit")
+        try:
+            loadgen(port, "-n", "20", "--rate", "20000")
+            result = serve_top(port, "--prometheus")
+            assert result.returncode == 0, result.stderr
+            assert 'repro_serve_requests_total{shard="0"} ' in result.stdout
+            assert 'le="+Inf"' in result.stdout
+        finally:
+            stop_server(proc)
+
+    def test_serve_top_needs_telemetry_enabled(self):
+        proc, port, _ = start_server("-a", "FirstFit")
+        try:
+            result = serve_top(port, "--iterations", "1")
+            assert result.returncode == 1
+            assert "telemetry disabled" in result.stderr
+        finally:
+            stop_server(proc)
+
+    def test_trace_out_written_on_sigterm_drain(self, tmp_path):
+        trace_path = tmp_path / "spans.jsonl"
+        proc, port, _ = start_server(
+            "-a", "FirstFit", "--trace-out", str(trace_path),
+        )
+        try:
+            result = loadgen(port, "-n", "30", "--rate", "20000", "--trace")
+            assert result.returncode == 0, result.stderr
+            # the loadgen report includes the server's phase attribution
+            assert "server:" in result.stdout
+            assert "kernel:" in result.stdout
+        finally:
+            out = stop_server(proc)
+        assert f"trace: {trace_path}" in out
+        lines = trace_path.read_text().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        assert "request" in names
+        # loadgen --trace stamped deterministic ids; they were sampled
+        traces = {
+            json.loads(line)["fields"].get("trace")
+            for line in lines
+            if json.loads(line)["name"] == "request"
+        }
+        assert any(t and t.startswith("lg-") for t in traces)
+
+    def test_loadgen_writes_ledger_record(self, tmp_path):
+        ledger_dir = tmp_path / "lg-ledger"
+        proc, port, _ = start_server("-a", "FirstFit")
+        try:
+            result = loadgen(
+                port, "-n", "40", "--rate", "20000",
+                "--ledger-dir", str(ledger_dir),
+            )
+            assert result.returncode == 0, result.stderr
+            assert "ledger:" in result.stdout
+        finally:
+            stop_server(proc)
+        records = list(ledger_dir.glob("loadgen-*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["kind"] == "loadgen"
+        assert record["algorithm"] == "FirstFit"
+        assert record["metrics"]["counters"]["ok"] == 40
+        assert record["metrics"]["counters"]["errors"] == 0
+        assert "client_latency_ms" in record["metrics"]["timings"]
+
+    def test_loadgen_no_ledger_flag(self, tmp_path):
+        proc, port, _ = start_server("-a", "FirstFit")
+        try:
+            result = loadgen(port, "-n", "10", "--rate", "20000",
+                             "--no-ledger")
+            assert result.returncode == 0, result.stderr
+            assert "ledger:" not in result.stdout
+        finally:
+            stop_server(proc)

@@ -189,4 +189,6 @@ class TestReplies:
             decode(b"[]\n")
 
     def test_every_op_is_listed(self):
-        assert set(OPS) == {"arrive", "depart", "advance", "stats", "ping"}
+        assert set(OPS) == {
+            "arrive", "depart", "advance", "stats", "ping", "telemetry",
+        }

@@ -471,3 +471,49 @@ class TestMetrics:
 
         merged = run(main())
         assert merged.total == 8
+
+
+class TestStatsQueueFields:
+    """``{"op": "stats"}`` exposes live queue depth and inflight counts —
+    per shard and summed in totals — so an operator (or ``serve top``)
+    can see backlog without enabling telemetry."""
+
+    def test_stats_reports_queue_depth_and_inflight(self):
+        async def main():
+            server = await started(ServeConfig(shards=2))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            stats = await client.stats()
+            totals = stats["totals"]
+            assert totals["queue_depth"] == 0
+            assert totals["inflight"] == 0
+            for shard in stats["per_shard"]:
+                assert shard["queue_depth"] == 0
+                assert shard["inflight"] == 0
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_inflight_visible_while_a_shard_is_stalled(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            loop = asyncio.get_running_loop()
+            server.shards[0].stall(loop.time() + 0.2)
+            future = client.submit({
+                "op": "arrive", "id": 1, "arrival": 0.0,
+                "departure": 1.0, "size": 0.5,
+            })
+            await client.drain_writes()
+            await asyncio.sleep(0.05)  # parked in the stalled worker
+            stats = await client.stats()
+            assert stats["totals"]["inflight"] == 1
+            assert stats["per_shard"][0]["inflight"] == 1
+            reply = await future
+            assert reply["ok"]
+            stats = await client.stats()
+            assert stats["totals"]["inflight"] == 0
+            await client.aclose()
+            await server.drain()
+
+        run(main())

@@ -1,0 +1,406 @@
+"""Request-scoped service telemetry: spans, RED metrics, admin plane."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.serve import (
+    PlacementClient,
+    PlacementServer,
+    ServeConfig,
+    ServiceTelemetry,
+    ShardTelemetry,
+    render_service_prometheus,
+)
+from repro.serve.protocol import encode, parse_request
+from repro.serve.telemetry import PHASES
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started(config: ServeConfig) -> PlacementServer:
+    server = PlacementServer(config)
+    await server.start()
+    return server
+
+
+def telemetry_config(**kwargs) -> ServeConfig:
+    kwargs.setdefault("telemetry", True)
+    return ServeConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Unit: quantiles, trace ids, sampling
+# ---------------------------------------------------------------------- #
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram((1.0, 2.0)).quantile(0.5) == 0.0
+
+    def test_interpolates_inside_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        for _ in range(100):
+            hist.observe(1.5)
+        assert 1.0 < hist.quantile(0.5) <= 2.0
+
+    def test_monotone_in_q(self):
+        hist = Histogram((0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 0.5):
+            hist.observe(value)
+        qs = [hist.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).quantile(1.5)
+
+
+class TestTraceIds:
+    def test_client_supplied_id_wins(self):
+        tel = ServiceTelemetry(1)
+        req = parse_request(
+            encode({"op": "ping", "seq": 1, "trace": "mine"})
+        )
+        assert tel.trace_id(req) == "mine"
+
+    def test_client_seq_fallback(self):
+        # ``client`` is the retry-dedup identity, parsed on arrive/depart
+        tel = ServiceTelemetry(1)
+        req = parse_request(encode({
+            "op": "arrive", "id": 1, "arrival": 0.0, "size": 0.5,
+            "seq": 7, "client": "c1",
+        }))
+        assert tel.trace_id(req) == "c1:7"
+
+    def test_local_counter_fallback(self):
+        tel = ServiceTelemetry(1)
+        req = parse_request(encode({"op": "ping", "seq": 1}))
+        first = tel.trace_id(req)
+        second = tel.trace_id(req)
+        assert first != second
+        assert first.startswith("t")
+
+
+class TestSampling:
+    def test_sample_one_keeps_everything(self):
+        tel = ServiceTelemetry(1, sample=1.0)
+        assert all(tel.sampled(f"t{i}") for i in range(50))
+
+    def test_sample_zero_keeps_nothing(self):
+        tel = ServiceTelemetry(1, sample=0.0)
+        assert not any(tel.sampled(f"t{i}") for i in range(50))
+
+    def test_decision_is_pure_in_seed_and_id(self):
+        a = ServiceTelemetry(1, sample=0.5, seed=3)
+        b = ServiceTelemetry(1, sample=0.5, seed=3)
+        ids = [f"req-{i}" for i in range(200)]
+        assert [a.sampled(t) for t in ids] == [b.sampled(t) for t in ids]
+
+    def test_seed_changes_the_subset(self):
+        a = ServiceTelemetry(1, sample=0.5, seed=0)
+        b = ServiceTelemetry(1, sample=0.5, seed=99)
+        ids = [f"req-{i}" for i in range(200)]
+        assert [a.sampled(t) for t in ids] != [b.sampled(t) for t in ids]
+
+    def test_fraction_roughly_honoured(self):
+        tel = ServiceTelemetry(1, sample=0.25)
+        kept = sum(tel.sampled(f"x{i}") for i in range(2000))
+        assert 0.15 < kept / 2000 < 0.35
+
+
+class TestShardTelemetryMerge:
+    def test_merge_is_lossless_for_counters(self):
+        a, b = ShardTelemetry(), ShardTelemetry()
+        a.requests.inc(3)
+        a.count_error("invalid")
+        b.requests.inc(2)
+        b.count_error("invalid")
+        b.count_error("unavailable")
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["requests"] == 5
+        assert snap["counters"]["errors"] == 3
+        assert snap["counters"]["errors_invalid"] == 2
+        assert snap["counters"]["errors_unavailable"] == 1
+
+    def test_snapshot_has_every_phase(self):
+        snap = ShardTelemetry().snapshot()
+        assert set(snap["timings"]) == {f"phase_{p}" for p in PHASES}
+        assert set(snap["quantiles"]) == {"p50_s", "p99_s"}
+
+
+# ---------------------------------------------------------------------- #
+# End to end: a telemetry-enabled server
+# ---------------------------------------------------------------------- #
+class TestServerTelemetry:
+    def test_trace_echoed_and_spans_recorded(self):
+        async def main():
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.request({
+                "op": "arrive", "id": 1, "arrival": 0.0,
+                "departure": 2.0, "size": 0.5, "trace": "my-req",
+            })
+            assert reply["ok"] and reply["trace"] == "my-req"
+            events = server.telemetry.tracer.events()
+            spans = [ev for ev in events if ev.fields.get("trace")
+                     == "my-req"]
+            names = [ev.name for ev in spans]
+            assert names == [f"req.{p}" for p in PHASES] + ["request"]
+            root = spans[-1]
+            assert root.depth == 0 and root.fields["op"] == "arrive"
+            assert root.fields["status"] == "ok"
+            # children precede the root and nest inside its window
+            for child in spans[:-1]:
+                assert child.depth == 1
+                assert child.t_ns >= root.t_ns
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_derived_trace_ids_are_unique(self):
+        async def main():
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            traces = set()
+            for k in range(5):
+                reply = await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.1
+                )
+                traces.add(reply["trace"])
+            assert len(traces) == 5
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_red_counters_and_phase_timings(self):
+        async def main():
+            server = await started(telemetry_config(shards=2))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(20):
+                reply = await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.01,
+                    tenant=f"t{k}",
+                )
+                assert reply["ok"]
+            bad = await client.request({"op": "depart", "id": "missing",
+                                        "time": 0.5})
+            assert not bad["ok"]
+            merged = server.telemetry.merged()
+            assert merged.requests.value == 21
+            assert merged.errors.value == 1
+            assert merged.error_codes == {"unknown-item": 1}
+            for phase in PHASES:
+                assert merged.phases[phase].count == 21
+            # both shards took traffic
+            assert all(
+                tel.requests.value > 0 for tel in server.telemetry.shards
+            )
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_sample_zero_counts_but_records_no_spans(self):
+        async def main():
+            server = await started(telemetry_config(trace_sample=0.0))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(10):
+                await client.arrive(k, arrival=0.0, departure=1.0, size=0.1)
+            assert server.telemetry.merged().requests.value == 10
+            assert len(server.telemetry.tracer) == 0
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_parse_errors_counted(self):
+        async def main():
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.request({"op": "shrug"})
+            assert not reply["ok"]
+            assert server.telemetry.parse_errors.value == 1
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_batch_flush_causes_recorded(self):
+        async def main():
+            server = await started(
+                telemetry_config(batch_max=4, batch_delay=0.05)
+            )
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            futures = [
+                client.submit({
+                    "op": "arrive", "id": k, "arrival": 0.0,
+                    "departure": 1.0, "size": 0.01,
+                })
+                for k in range(4)
+            ]
+            await client.drain_writes()
+            await asyncio.gather(*futures)
+            merged = server.telemetry.merged()
+            assert merged.flush_causes.get("size", 0) >= 1
+            assert merged.batch_size.total >= 1
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_telemetry_verb_and_disabled_reply(self):
+        async def main():
+            # enabled: the snapshot rides in the reply
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=1.0, size=0.5)
+            reply = await client.telemetry()
+            assert reply["ok"] and reply["enabled"]
+            snap = reply["snapshot"]
+            assert snap["merged"]["counters"]["requests"] == 1
+            assert len(snap["per_shard"]) == 1
+            json.dumps(snap)  # wire-safe
+            await client.aclose()
+            await server.drain()
+
+            # disabled: the verb still answers, without a snapshot
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.telemetry()
+            assert reply["ok"] and not reply["enabled"]
+            assert "snapshot" not in reply
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_telemetry_answered_while_draining(self):
+        async def main():
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            server.draining = True  # freeze the flag without closing yet
+            reply = await client.telemetry()
+            assert reply["ok"] and reply["enabled"]
+            refused = await client.arrive(
+                1, arrival=0.0, departure=1.0, size=0.5
+            )
+            assert refused["error"] == "draining"
+            assert server.telemetry.refusals == {"draining": 1}
+            await client.aclose()
+            server.draining = False
+            await server.drain()
+
+        run(main())
+
+    def test_trace_out_written_on_drain(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+
+        async def main():
+            server = await started(telemetry_config(trace_out=path))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=1.0, size=0.5)
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+        lines = path.read_text().splitlines()
+        assert len(lines) >= len(PHASES) + 1
+        names = {json.loads(line)["name"] for line in lines}
+        assert "request" in names and "req.kernel" in names
+
+    def test_kernel_narration_for_sampled_requests(self):
+        async def main():
+            server = await started(telemetry_config())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=1.0, size=0.5)
+            names = [ev.name for ev in server.telemetry.tracer.events()]
+            assert "kernel.place" in names
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+    def test_ledger_record_gains_telemetry_section(self, tmp_path):
+        async def main():
+            server = await started(
+                telemetry_config(ledger_dir=tmp_path, algorithm="FirstFit")
+            )
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            await client.arrive(1, arrival=0.0, departure=1.0, size=0.5)
+            await client.aclose()
+            await server.drain()
+            return server.ledger_path
+
+        path = run(main())
+        record = json.loads(path.read_text())
+        tel = record["metrics"]["telemetry"]
+        assert tel["merged"]["counters"]["requests"] == 1
+
+    def test_off_path_replies_carry_no_trace(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.arrive(
+                1, arrival=0.0, departure=1.0, size=0.5
+            )
+            assert reply["ok"] and "trace" not in reply
+            assert server.telemetry is None
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+class TestPrometheus:
+    def _snapshot(self):
+        async def main():
+            server = await started(telemetry_config(shards=2))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(8):
+                await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.1, tenant=f"t{k}"
+                )
+            reply = await client.telemetry()
+            await client.aclose()
+            await server.drain()
+            return reply["snapshot"]
+
+        return run(main())
+
+    def test_page_shape(self):
+        page = render_service_prometheus(self._snapshot())
+        lines = page.splitlines()
+        assert 'repro_serve_requests_total{shard="0"}' in page
+        assert 'repro_serve_requests_total{shard="1"}' in page
+        assert "repro_serve_parse_errors_total 0" in page
+        # histogram buckets are cumulative and end at +Inf
+        buckets = [
+            ln for ln in lines
+            if ln.startswith("repro_serve_duration_bucket")
+            and 'shard="0"' in ln
+        ]
+        assert buckets and 'le="+Inf"' in buckets[-1]
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in buckets]
+        assert counts == sorted(counts)
+        # every sample line parses as "<name or name{labels}> <float>"
+        for ln in lines:
+            if ln.startswith("#"):
+                continue
+            _, value = ln.rsplit(" ", 1)
+            float(value)
+
+    def test_server_method_matches_module_function(self):
+        snap = self._snapshot()
+        tel = ServiceTelemetry(2)
+        assert tel.render_prometheus(snap) == render_service_prometheus(snap)
