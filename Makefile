@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report report figures table1 curves docs regress sweep serve-smoke chaos clean all
+.PHONY: install test bench bench-report flame report figures table1 curves docs regress sweep serve-smoke chaos clean all
 
 install:
 	pip install -e .
@@ -16,6 +16,17 @@ bench:
 # Aggregate benchmarks/output/BENCH_*.json into BENCH_SUMMARY.{json,md}.
 bench-report:
 	$(PYTHON) scripts/bench_report.py
+
+# Profile the baseline replay under the 97 Hz stack sampler and render
+# the flamegraph views (top-functions table + collapsed + speedscope
+# under benchmarks/output/).
+flame:
+	$(PYTHON) -m repro replay examples/traces/uniform_1k.jsonl \
+	  -a HybridAlgorithm --sample-hz 997 \
+	  --profile-out benchmarks/output/replay.prof.json --no-ledger
+	$(PYTHON) -m repro obs flame benchmarks/output/replay.prof.json \
+	  --collapsed benchmarks/output/replay.collapsed.txt \
+	  --speedscope benchmarks/output/replay.speedscope.json
 
 report:
 	$(PYTHON) -m repro report -o REPORT.md

@@ -35,6 +35,7 @@ HEADLINE_METRICS = (
     ("KERNEL", "rss_reduction"),
     ("SERVE", "telemetry_off_ratio"),
     ("SERVE", "telemetry_on_ratio"),
+    ("PROFILER", "profiler_on_ratio"),
 )
 
 
@@ -123,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 unless the serve bench's telemetry-off throughput "
         "is >= X of its frozen baseline (the <5%% overhead gate is 0.95)",
     )
+    parser.add_argument(
+        "--min-profiler-ratio", type=float, default=None, metavar="X",
+        help="exit 1 unless the stack-sampler-on replay throughput is "
+        ">= X of sampler-off (the <5%% overhead gate is 0.95)",
+    )
     args = parser.parse_args(argv)
 
     if not args.output_dir.is_dir():
@@ -166,6 +172,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"serve telemetry-off ratio {ratio:.3f}x >= "
               f"{args.min_serve_ratio:.2f}x floor")
+
+    if args.min_profiler_ratio is not None:
+        ratio = summary["headline"].get("profiler_profiler_on_ratio")
+        if ratio is None:
+            print("bench_report: profiler_on_ratio metric missing "
+                  "(run benchmarks/bench_profiler.py first)", file=sys.stderr)
+            return 1
+        if ratio < args.min_profiler_ratio:
+            print(f"bench_report: sampler-on replay throughput is "
+                  f"{ratio:.3f}x sampler-off, below the "
+                  f"{args.min_profiler_ratio:.2f}x floor — the stack "
+                  f"sampler has started taxing the hot path", file=sys.stderr)
+            return 1
+        print(f"profiler sampler-on ratio {ratio:.3f}x >= "
+              f"{args.min_profiler_ratio:.2f}x floor")
     return 0
 
 

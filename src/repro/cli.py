@@ -12,6 +12,8 @@ Subcommands::
     repro-dbp pack t.csv -a CDFF   # batch-pack a trace file
     repro-dbp replay t.jsonl       # stream a trace (constant memory)
     repro-dbp obs summarize t.out  # aggregate a --trace JSONL by event
+    repro-dbp obs flame p.prof.json         # flamegraph views of a profile
+    repro-dbp obs critical-path t.jsonl     # span-tree critical-path analytics
     repro-dbp obs diff a.json b.json        # drift between two ledger records
     repro-dbp obs regress --baseline b.json # gate a ledger against a baseline
     repro-dbp chaos --schedules 25          # seeded fault-injection sweep
@@ -22,6 +24,15 @@ provenance record per run into the ledger directory (``--ledger-dir``,
 ``REPRO_LEDGER_DIR``, default ``.ledger/``); ``--no-ledger`` disables
 this.  ``replay --invariants`` attaches the online theory-invariant
 monitors (capacity, cost identity, span ≤ cost, Table-1 ratio bounds).
+
+``run``/``replay``/``serve`` accept ``--sample-hz HZ`` to attach the
+statistical stack sampler (:mod:`repro.obs.prof`): a profile artifact is
+written at exit (``--profile-out``, default ``<trace>.prof.json``) and
+its summary rides in the run's ledger record under the never-gated
+``profile`` section.  ``obs flame`` renders a profile as a top-functions
+table or exports it as collapsed-stack / speedscope files; ``obs
+critical-path`` reconstructs span trees from a ``--trace`` JSONL and
+attributes request latency phase by phase.
 """
 
 from __future__ import annotations
@@ -67,7 +78,59 @@ def _add_ledger_flags(parser) -> None:
     )
 
 
-def _run(ids: Iterable[str], *, profile: bool = False, ledger_dir=None) -> int:
+def _add_sampler_flags(parser) -> None:
+    parser.add_argument(
+        "--sample-hz", type=float, default=0.0, metavar="HZ",
+        help="attach the statistical stack sampler at HZ samples/s "
+        "(0 = off; 97 is a good default — prime, so it does not alias "
+        "with periodic work)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="OUT.prof.json", default=None,
+        help="profile artifact path (default: derived from the command's "
+        "primary output; requires --sample-hz)",
+    )
+
+
+def _start_sampler(args):
+    """Build and start a :class:`StackSampler` when ``--sample-hz`` asks
+    for one; returns ``None`` otherwise."""
+    hz = getattr(args, "sample_hz", 0.0) or 0.0
+    if hz <= 0:
+        return None
+    from .obs.prof import StackSampler
+
+    sampler = StackSampler(hz)
+    sampler.start()
+    return sampler
+
+
+def _finish_sampler(sampler, args, default_out: str):
+    """Stop ``sampler``, write its artifact, and return the ledger-ready
+    ``profile_info`` dict (``None`` when no sampler ran)."""
+    if sampler is None:
+        return None
+    import pathlib
+
+    profile = sampler.stop()
+    out = pathlib.Path(getattr(args, "profile_out", None) or default_out)
+    profile.write(out)
+    stats = profile.stats()
+    print(
+        f"profile: {stats['samples']} samples @ {profile.hz:g} Hz "
+        f"({stats['unique_stacks']} unique stacks) -> {out}"
+    )
+    return {"sampler": stats, "artifact": str(out)}
+
+
+def _run(
+    ids: Iterable[str],
+    *,
+    profile: bool = False,
+    ledger_dir=None,
+    sampler=None,
+    profile_info=None,
+) -> int:
     from .experiments.runner import run_experiment
 
     failures = 0
@@ -76,8 +139,14 @@ def _run(ids: Iterable[str], *, profile: bool = False, ledger_dir=None) -> int:
             print(f"unknown experiment id: {eid}", file=sys.stderr)
             failures += 1
             continue
+        info = profile_info
+        if sampler is not None:
+            # per-record cumulative snapshot; the artifact pointer (if
+            # any) is added by the caller once the run completes
+            info = dict(profile_info or {})
+            info["sampler"] = sampler.snapshot().stats()
         result, report = run_experiment(
-            eid, profile=profile, ledger_dir=ledger_dir
+            eid, profile=profile, ledger_dir=ledger_dir, profile_info=info
         )
         print(result.render())
         if report is not None:
@@ -125,6 +194,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--profile", action="store_true",
         help="profile each experiment (wall time, peak RSS, tracemalloc)",
     )
+    _add_sampler_flags(runp)
     _add_ledger_flags(runp)
     for group in _GROUPS:
         sub.add_parser(group, help=f"run the {group} experiments")
@@ -237,6 +307,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="like --invariants, but abort with an error on the first "
         "violation",
     )
+    _add_sampler_flags(replayp)
     _add_ledger_flags(replayp)
     obsp = sub.add_parser(
         "obs", help="observability utilities (summaries, ledger sentinel)"
@@ -246,6 +317,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         "summarize", help="aggregate a JSONL trace written by replay --trace"
     )
     obssump.add_argument("trace", help="trace file written by --trace")
+    obssump.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N busiest event names (by total span time)",
+    )
+    obsflamep = obssub.add_parser(
+        "flame",
+        help="render a --sample-hz profile: top-functions table, "
+        "collapsed stacks, speedscope JSON",
+    )
+    obsflamep.add_argument(
+        "profile", help="profile artifact written by --sample-hz "
+        "(<out>.prof.json)",
+    )
+    obsflamep.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows in the top-functions table (default 20)",
+    )
+    obsflamep.add_argument(
+        "--collapsed", metavar="OUT.txt", default=None,
+        help="write Brendan-Gregg collapsed stacks (flamegraph.pl input)",
+    )
+    obsflamep.add_argument(
+        "--speedscope", metavar="OUT.json", default=None,
+        help="write a speedscope-compatible JSON profile "
+        "(open at https://www.speedscope.app)",
+    )
+    obscritp = obssub.add_parser(
+        "critical-path",
+        help="reconstruct span trees from a --trace JSONL and attribute "
+        "request latency phase by phase",
+    )
+    obscritp.add_argument(
+        "trace", help="trace file written by replay --trace or "
+        "serve --trace-out",
+    )
+    obscritp.add_argument(
+        "--json", metavar="OUT.json", default=None,
+        help="also write the full report (per-request slices, phase "
+        "totals) as JSON",
+    )
     obsdiffp = obssub.add_parser(
         "diff", help="per-metric drift between two ledger records"
     )
@@ -366,6 +477,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="serve top: print one Prometheus text-exposition page "
         "and exit",
     )
+    _add_sampler_flags(servep)
     _add_ledger_flags(servep)
     loadgenp = sub.add_parser(
         "loadgen",
@@ -480,9 +592,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "chaos":
         return _chaos(args)
     if args.command == "run":
-        return _run(
-            args.ids, profile=args.profile, ledger_dir=_ledger_dir(args)
-        )
+        sampler = _start_sampler(args)
+        info = None
+        if sampler is not None:
+            info = {"artifact": str(args.profile_out or "run.prof.json")}
+        try:
+            return _run(
+                args.ids,
+                profile=args.profile,
+                ledger_dir=_ledger_dir(args),
+                sampler=sampler,
+                profile_info=info,
+            )
+        finally:
+            _finish_sampler(sampler, args, "run.prof.json")
     if args.command == "all":
         return _run(sorted(EXPERIMENTS))
     return _run(_GROUPS[args.command])
@@ -672,6 +795,7 @@ def _replay(args) -> int:
 
     from .obs.invariants import InvariantViolationError
 
+    sampler = _start_sampler(args)
     t0 = _time.perf_counter()
     fed = 0
     try:
@@ -684,9 +808,12 @@ def _replay(args) -> int:
             _feed_all()
             summary = engine.finish()
     except InvariantViolationError as exc:
+        if sampler is not None:
+            sampler.stop()
         print(f"replay: {exc}", file=sys.stderr)
         return 1
     elapsed = _time.perf_counter() - t0
+    profile_info = _finish_sampler(sampler, args, f"{args.trace}.prof.json")
 
     events = summary.items + engine.accounting.departures
     rate = events / elapsed if elapsed > 0 else float("inf")
@@ -739,6 +866,7 @@ def _replay(args) -> int:
             profiler=profiler,
             invariants=monitor,
             wall_s=elapsed,
+            profile_info=profile_info,
         )
         sink.emit(metrics.snapshot(extra=summary.to_dict()))
         print(f"ledger: {sink.last_path}")
@@ -801,6 +929,9 @@ def _serve(args) -> int:
         trace_sample=args.trace_sample,
         telemetry_seed=args.telemetry_seed,
         trace_out=args.trace_out,
+        sample_hz=args.sample_hz,
+        profile_out=args.profile_out
+        or ("serve.prof.json" if args.sample_hz > 0 else None),
     )
 
     import gc
@@ -847,6 +978,8 @@ def _serve(args) -> int:
             print(f"ledger: {path}")
         if config.trace_out is not None:
             print(f"trace: {config.trace_out}")
+        if server.profile_path is not None:
+            print(f"profile: {server.profile_path}")
 
     asyncio.run(_main())
     return 0
@@ -1079,10 +1212,53 @@ def _obs(args) -> int:
         from .obs import summarize_trace
 
         try:
-            print(summarize_trace(args.trace))
+            print(summarize_trace(args.trace, top=args.top))
         except (OSError, ValueError) as exc:
             print(f"obs summarize: {exc}", file=sys.stderr)
             return 1
+        return 0
+    if args.obs_command == "flame":
+        from .obs.prof import (
+            Profile,
+            render_top,
+            to_collapsed,
+            write_speedscope,
+        )
+
+        try:
+            profile = Profile.read(args.profile)
+        except (OSError, ValueError) as exc:
+            print(f"obs flame: {exc}", file=sys.stderr)
+            return 1
+        if profile.samples == 0:
+            print(f"obs flame: {args.profile} holds no samples",
+                  file=sys.stderr)
+            return 1
+        print(render_top(profile, top=args.top))
+        if args.collapsed:
+            with open(args.collapsed, "w") as fh:
+                fh.write(to_collapsed(profile))
+            print(f"collapsed stacks -> {args.collapsed}")
+        if args.speedscope:
+            write_speedscope(profile, args.speedscope, name=args.profile)
+            print(f"speedscope profile -> {args.speedscope}")
+        return 0
+    if args.obs_command == "critical-path":
+        import json as _json
+
+        from .obs.prof import analyze_trace
+
+        try:
+            report = analyze_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"obs critical-path: {exc}", file=sys.stderr)
+            return 1
+        print(report.render())
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"report written to {args.json}")
         return 0
     if args.obs_command == "diff":
         from .obs.ledger import (

@@ -102,6 +102,7 @@ def run_experiment(
     profile: bool = False,
     profile_dir: Optional[Union[str, pathlib.Path]] = None,
     ledger_dir: Optional[Union[str, pathlib.Path]] = None,
+    profile_info: Optional[Dict[str, Any]] = None,
 ) -> Tuple[ExperimentResult, Optional["object"]]:
     """Run one registered experiment, optionally under the profiler.
 
@@ -117,6 +118,11 @@ def run_experiment(
     With ``ledger_dir`` set, a ``kind="experiment"`` run record (the
     table plus pass/fail, see :mod:`repro.obs.ledger`) is written there;
     ``None`` (the default) keeps library callers write-free.
+
+    ``profile_info`` merges extra entries (e.g. stack-sampler stats and
+    the profile artifact path from ``repro-dbp run --sample-hz``) into
+    the record's ``profile`` section — a never-gated field, so sampler
+    jitter cannot trip ``obs regress``.
     """
     fn = EXPERIMENTS.get(experiment_id)
     if fn is None:
@@ -139,6 +145,10 @@ def run_experiment(
     if ledger_dir is not None:
         from ..obs.ledger import RunRecord, git_sha
 
+        profile_section = report.to_dict() if report is not None else None
+        if profile_info:
+            profile_section = dict(profile_section or {})
+            profile_section.update(profile_info)
         record = RunRecord(
             kind="experiment",
             algorithm=experiment_id,
@@ -149,7 +159,7 @@ def run_experiment(
                 "rows": len(result.rows),
                 "columns": len(result.headers),
             },
-            profile=report.to_dict() if report is not None else None,
+            profile=profile_section,
             wall_s=report.total_wall_s if report is not None else None,
             git=git_sha(),
         )

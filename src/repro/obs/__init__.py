@@ -13,6 +13,10 @@ go", shared by every frontend:
   of the same trace snapshot identically);
 - :mod:`repro.obs.profile` — per-phase wall time / peak RSS /
   ``tracemalloc`` **profiling** (``repro-dbp run --profile``);
+- :mod:`repro.obs.prof` — the **continuous profiling plane**: a
+  statistical stack sampler (``--sample-hz``), flamegraph/speedscope
+  exporters (``repro-dbp obs flame``), and trace critical-path
+  analytics (``repro-dbp obs critical-path``);
 - :mod:`repro.obs.export` — sinks (memory, JSON, JSONL, console) and
   human-readable summaries (``repro-dbp obs summarize``);
 - :mod:`repro.obs.invariants` — online **theory-invariant monitors**
@@ -86,6 +90,15 @@ from .metrics import (
     Timing,
     merge_metrics,
 )
+from .prof import (
+    CriticalReport,
+    Profile,
+    StackSampler,
+    analyze_trace,
+    render_top,
+    to_collapsed,
+    to_speedscope,
+)
 from .profile import PhaseProfiler, PhaseStats, ProfileReport, profiled
 from .trace import (
     DEFAULT_CAPACITY,
@@ -120,6 +133,14 @@ __all__ = [
     "PhaseStats",
     "ProfileReport",
     "profiled",
+    # prof (continuous profiling plane)
+    "StackSampler",
+    "Profile",
+    "CriticalReport",
+    "analyze_trace",
+    "render_top",
+    "to_collapsed",
+    "to_speedscope",
     # export
     "MetricsSink",
     "ConsoleSink",

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
-from typing import Callable, List, Protocol, Union
+from typing import Callable, List, Optional, Protocol, Union
 
 __all__ = [
     "MetricsSink",
@@ -165,11 +165,26 @@ def _prom_name(prefix: str, name: str) -> str:
     )
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    text format requires escaping inside quoted label values; anything
+    else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
     body = ",".join(
-        f'{k}="{str(v)}"' for k, v in sorted(labels.items())
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
     )
     return "{" + body + "}"
 
@@ -238,32 +253,46 @@ def render_prometheus(snapshot: dict, *, prefix="repro", labels=None) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-def summarize_trace(path: Union[str, pathlib.Path]) -> str:
+def summarize_trace(
+    path: Union[str, pathlib.Path], *, top: Optional[int] = None
+) -> str:
     """Aggregate a JSONL trace file into a terminal summary.
 
     Works on anything :meth:`repro.obs.trace.Tracer.write_jsonl` wrote:
     groups records by event name, counting occurrences and (for spans)
     total/mean/max duration, and reports the covered wall-time window.
+    ``top`` bounds the per-name table to the N heaviest rows (service
+    traces can carry thousands of names; the default is unbounded).
 
-    Raises ``ValueError`` on an empty or truncated/corrupted file and
+    Raises ``ValueError`` on an empty or mid-file-corrupted trace and
     ``OSError`` on a missing one — a trace with nothing in it means the
     run was configured wrong (tracer never attached), and silently
-    summarizing it as fine would mask that.
+    summarizing it as fine would mask that.  A truncated **final** line
+    is different: that is the normal artifact of a process killed
+    mid-write (chaos crashes, SIGKILL during flush), so it produces a
+    one-line warning in the summary instead of an error.
     """
     path = pathlib.Path(path)
     per_name: dict = {}
     t_lo, t_hi, total = None, None, 0
+    truncated = None  #: pending (lineno, error) — fatal unless file-final
     with path.open() as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if truncated is not None:
+                # the bad line was NOT the last one — that is mid-file
+                # corruption, not a crash artifact, and stays fatal
+                bad_lineno, exc = truncated
+                raise ValueError(
+                    f"{path}:{bad_lineno}: not a JSONL trace line: {exc}"
+                ) from exc
             try:
                 rec = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: not a JSONL trace line: {exc}"
-                ) from exc
+                truncated = (lineno, exc)
+                continue
             total += 1
             name = rec.get("name", "?")
             t_ns = rec.get("t_ns", 0)
@@ -281,15 +310,27 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
             f"{path}: empty trace (no events; was the tracer attached "
             "and the file written with --trace?)"
         )
+    if top is not None and top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
     span_ms = (t_hi - t_lo) / 1e6
     lines = [
         f"{path}: {total:,} events over {span_ms:.2f} ms",
-        "",
     ]
+    if truncated is not None:
+        lines.append(
+            f"warning: final line {truncated[0]} is truncated "
+            "(crashed mid-write?) — ignored"
+        )
+    lines.append("")
+    ranked = sorted(
+        per_name.items(), key=lambda kv: (-kv[1]["dur_ns"], kv[0])
+    )
+    omitted = 0
+    if top is not None and len(ranked) > top:
+        omitted = len(ranked) - top
+        ranked = ranked[:top]
     rows = []
-    for name, agg in sorted(
-        per_name.items(), key=lambda kv: -kv[1]["dur_ns"]
-    ):
+    for name, agg in ranked:
         mean_us = agg["dur_ns"] / agg["count"] / 1e3
         rows.append(
             [
@@ -304,4 +345,6 @@ def summarize_trace(path: Union[str, pathlib.Path]) -> str:
     lines += _table(
         ["name", "kind", "count", "total ms", "mean us", "max us"], rows
     )
+    if omitted:
+        lines.append(f"(+{omitted} more name(s) — raise --top to see them)")
     return "\n".join(lines)

@@ -299,6 +299,7 @@ class LedgerSink:
         profiler=None,
         invariants=None,
         wall_s: Optional[float] = None,
+        profile_info: Optional[dict] = None,
     ) -> None:
         self.kind = kind
         self.algorithm = algorithm
@@ -309,6 +310,11 @@ class LedgerSink:
         self.profiler = profiler
         self.invariants = invariants
         self.wall_s = wall_s
+        #: extra entries merged into the record's ``profile`` section —
+        #: the sampler's stats and artifact path land here.  The whole
+        #: section sits under :data:`NONDETERMINISTIC_PREFIXES`, so
+        #: nothing in it can ever trip the regression sentinel.
+        self.profile_info = dict(profile_info or {})
         self.last_path: Optional[pathlib.Path] = None
         self._t0 = time.perf_counter()
 
@@ -327,6 +333,9 @@ class LedgerSink:
             for phase in report.phases:
                 if phase.peak_rss_kb is not None:
                     rss = phase.peak_rss_kb
+        if self.profile_info:
+            profile = dict(profile or {})
+            profile.update(self.profile_info)
         verdicts = None
         if self.invariants is not None:
             verdicts = self.invariants.verdicts()

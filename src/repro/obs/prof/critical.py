@@ -1,0 +1,515 @@
+"""Critical-path analytics over Tracer JSONL files.
+
+Where the sampler (:mod:`repro.obs.prof.sampler`) answers *which code*
+was on-CPU, this module answers *which phase* a request actually spent
+its wall time in.  It consumes the JSONL traces the repo already emits
+— ``repro-dbp replay --trace`` span trees and the serve telemetry
+request spans from PR 9 — and reconstructs where the time went:
+
+- **request mode** (serve traces): every ``request`` root span is
+  joined with its ``req.<phase>`` children (parse/batch/queue/kernel/
+  write, matched on the ``trace`` field) and its end-to-end duration is
+  carved into an ordered timeline of *named* slices.  Instants the
+  instrumentation does not cover (event-loop hops between phase marks)
+  become *derived* slices with stable names (``dispatch``, ``handoff``,
+  ``dequeue``, ``resolve``, ``post``) so attribution is exhaustive:
+  every nanosecond of every request lands in a named phase.  Queueing
+  delay (``batch`` + ``queue``) is aggregated separately — that is the
+  number capacity decisions care about.
+- **span mode** (replay/phase-profiler traces): the exit-ordered,
+  depth-stamped span stream is rebuilt into trees
+  (children precede their parent at ``depth + 1``), per-name self time
+  is aggregated, and the critical path — the chain of heaviest children
+  from the heaviest root — is extracted.
+
+Everything here is a pure function of the trace file: analyzing the
+same file twice yields byte-identical reports (sorted aggregation,
+fixed float formatting, no clocks).  ``repro-dbp obs critical-path``
+is the CLI frontend.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.export import _table
+from repro.obs.trace import TraceEvent, read_trace
+
+__all__ = [
+    "CriticalReport",
+    "PhaseSlice",
+    "RequestPath",
+    "SpanNode",
+    "analyze_events",
+    "analyze_trace",
+]
+
+#: serve phase-mark children are named ``req.<phase>``
+_REQ_PREFIX = "req."
+
+#: pipeline order of the instrumented serve phases (for stable sorting
+#: when two phases share a start timestamp)
+_PHASE_ORDER = {"parse": 0, "batch": 1, "queue": 2, "kernel": 3, "write": 4}
+
+#: stable names for the uninstrumented gaps between adjacent phases —
+#: each is a real place time goes (dispatch into the batcher, the
+#: batch->queue hand-off, worker dequeue, future resolution after the
+#: kernel, and anything after the write mark)
+_GAP_NAMES = {
+    ("parse", "batch"): "dispatch",
+    ("parse", "queue"): "dispatch",
+    ("parse", "write"): "dispatch",
+    ("batch", "queue"): "handoff",
+    ("queue", "kernel"): "dequeue",
+    ("kernel", "write"): "resolve",
+}
+
+#: phases counted as queueing delay in request mode
+_QUEUE_PHASES = ("batch", "queue")
+
+
+def _gap_name(prev: Optional[str], nxt: Optional[str]) -> str:
+    if prev is None:
+        return f"pre-{nxt}" if nxt else "pre"
+    if nxt is None:
+        return "post"
+    return _GAP_NAMES.get((prev, nxt), f"{prev}-{nxt}-gap")
+
+
+@dataclass(frozen=True)
+class PhaseSlice:
+    """One named segment of a request's end-to-end timeline."""
+
+    name: str
+    t_ns: int
+    dur_ns: int
+    derived: bool  #: True for gap slices the analyzer named itself
+
+
+@dataclass(frozen=True)
+class RequestPath:
+    """One request's fully-attributed critical path."""
+
+    trace: str
+    op: Optional[str]
+    shard: Optional[int]
+    status: Optional[str]
+    t_ns: int
+    dur_ns: int
+    slices: Tuple[PhaseSlice, ...]
+
+    @property
+    def attributed_ns(self) -> int:
+        return sum(s.dur_ns for s in self.slices)
+
+    @property
+    def instrumented_ns(self) -> int:
+        return sum(s.dur_ns for s in self.slices if not s.derived)
+
+    @property
+    def queueing_ns(self) -> int:
+        return sum(s.dur_ns for s in self.slices if s.name in _QUEUE_PHASES)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the end-to-end duration landing in named slices."""
+        return self.attributed_ns / self.dur_ns if self.dur_ns else 1.0
+
+    @property
+    def instrumented_coverage(self) -> float:
+        return self.instrumented_ns / self.dur_ns if self.dur_ns else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace,
+            "op": self.op,
+            "shard": self.shard,
+            "status": self.status,
+            "t_ns": self.t_ns,
+            "dur_ns": self.dur_ns,
+            "coverage": round(self.coverage, 6),
+            "instrumented_coverage": round(self.instrumented_coverage, 6),
+            "queueing_ns": self.queueing_ns,
+            "slices": [
+                {
+                    "name": s.name,
+                    "t_ns": s.t_ns,
+                    "dur_ns": s.dur_ns,
+                    "derived": s.derived,
+                }
+                for s in self.slices
+            ],
+        }
+
+
+@dataclass
+class SpanNode:
+    """One span with its reconstructed children (span mode)."""
+
+    event: TraceEvent
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_ns(self) -> int:
+        child_ns = sum(c.event.dur_ns for c in self.children)
+        return max(0, self.event.dur_ns - child_ns)
+
+
+@dataclass
+class CriticalReport:
+    """The result of :func:`analyze_trace` (either mode)."""
+
+    path: str
+    mode: str  #: ``"requests"`` or ``"spans"``
+    events: int
+    requests: List[RequestPath] = field(default_factory=list)
+    #: per-phase aggregate: name -> {count, total_ns, max_ns, derived}
+    phases: Dict[str, dict] = field(default_factory=dict)
+    #: span mode: per-name aggregate {count, total_ns, self_ns, max_ns}
+    names: Dict[str, dict] = field(default_factory=dict)
+    #: span mode: the heaviest root's heaviest-child chain
+    critical_path: List[dict] = field(default_factory=list)
+    orphans: int = 0  #: spans whose parent was evicted from the ring
+
+    def to_dict(self) -> dict:
+        out = {
+            "schema": 1,
+            "path": self.path,
+            "mode": self.mode,
+            "events": self.events,
+        }
+        if self.mode == "requests":
+            total_ns = sum(r.dur_ns for r in self.requests)
+            out["requests"] = [r.to_dict() for r in self.requests]
+            out["phases"] = self.phases
+            out["summary"] = {
+                "requests": len(self.requests),
+                "total_ns": total_ns,
+                "queueing_ns": sum(r.queueing_ns for r in self.requests),
+                "min_coverage": round(
+                    min((r.coverage for r in self.requests), default=1.0), 6
+                ),
+                "mean_coverage": round(
+                    sum(r.coverage for r in self.requests)
+                    / len(self.requests), 6
+                ) if self.requests else 1.0,
+            }
+        else:
+            out["names"] = self.names
+            out["critical_path"] = self.critical_path
+            out["orphans"] = self.orphans
+        return out
+
+    def render(self) -> str:
+        if self.mode == "requests":
+            return self._render_requests()
+        return self._render_spans()
+
+    # -- request mode --------------------------------------------------
+
+    def _render_requests(self) -> str:
+        n = len(self.requests)
+        total_ns = sum(r.dur_ns for r in self.requests)
+        queue_ns = sum(r.queueing_ns for r in self.requests)
+        lines = [
+            f"{self.path}: {n:,} request(s), "
+            f"{total_ns / 1e6:.3f} ms end-to-end total",
+            "",
+            "critical-path phases (aggregated across requests):",
+        ]
+        rows = []
+        for name, agg in sorted(
+            self.phases.items(), key=lambda kv: (-kv[1]["total_ns"], kv[0])
+        ):
+            share = agg["total_ns"] / total_ns if total_ns else 0.0
+            mean_us = agg["total_ns"] / agg["count"] / 1e3
+            rows.append(
+                [
+                    name,
+                    "derived" if agg["derived"] else "phase",
+                    f"{agg['count']:,}",
+                    f"{agg['total_ns'] / 1e6:.3f}",
+                    f"{mean_us:.2f}",
+                    f"{agg['max_ns'] / 1e3:.2f}",
+                    f"{100.0 * share:.1f}%",
+                ]
+            )
+        lines += _table(
+            ["phase", "kind", "count", "total ms", "mean us", "max us",
+             "share"],
+            rows,
+        )
+        min_cov = min((r.coverage for r in self.requests), default=1.0)
+        inst_cov = (
+            sum(r.instrumented_ns for r in self.requests) / total_ns
+            if total_ns
+            else 1.0
+        )
+        lines += [
+            "",
+            f"queueing delay (batch+queue): {queue_ns / 1e6:.3f} ms "
+            f"({100.0 * queue_ns / total_ns if total_ns else 0.0:.1f}% "
+            "of end-to-end)",
+            f"attribution: {100.0 * min_cov:.1f}% minimum per-request "
+            f"({100.0 * inst_cov:.1f}% from instrumented phase marks)",
+        ]
+        slowest = max(
+            self.requests, key=lambda r: (r.dur_ns, r.trace), default=None
+        )
+        if slowest is not None:
+            lines += ["", f"slowest request (trace={slowest.trace}, "
+                          f"op={slowest.op}, shard={slowest.shard}, "
+                          f"{slowest.dur_ns / 1e3:.2f} us):"]
+            for s in slowest.slices:
+                marker = "~" if s.derived else " "
+                lines.append(
+                    f"  {marker}{s.name:<12s} {s.dur_ns / 1e3:>10.2f} us  "
+                    f"({100.0 * s.dur_ns / slowest.dur_ns:.1f}%)"
+                )
+        return "\n".join(lines)
+
+    # -- span mode -----------------------------------------------------
+
+    def _render_spans(self) -> str:
+        total_self = sum(a["self_ns"] for a in self.names.values())
+        lines = [
+            f"{self.path}: {self.events:,} events, "
+            f"{sum(a['count'] for a in self.names.values()):,} spans "
+            f"({self.orphans} orphaned)",
+            "",
+            "self time by span name:",
+        ]
+        rows = []
+        for name, agg in sorted(
+            self.names.items(), key=lambda kv: (-kv[1]["self_ns"], kv[0])
+        ):
+            share = agg["self_ns"] / total_self if total_self else 0.0
+            rows.append(
+                [
+                    name,
+                    f"{agg['count']:,}",
+                    f"{agg['self_ns'] / 1e6:.3f}",
+                    f"{agg['total_ns'] / 1e6:.3f}",
+                    f"{agg['max_ns'] / 1e3:.2f}",
+                    f"{100.0 * share:.1f}%",
+                ]
+            )
+        lines += _table(
+            ["name", "count", "self ms", "total ms", "max us", "self share"],
+            rows,
+        )
+        if self.critical_path:
+            lines += ["", "critical path (heaviest chain of the heaviest "
+                          "root):"]
+            for hop in self.critical_path:
+                indent = "  " * (hop["depth"] + 1)
+                lines.append(
+                    f"{indent}{hop['name']}  {hop['dur_ns'] / 1e6:.3f} ms "
+                    f"(self {hop['self_ns'] / 1e6:.3f} ms)"
+                )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Request mode
+# ---------------------------------------------------------------------- #
+def _attribute_request(
+    root: TraceEvent, children: List[TraceEvent]
+) -> RequestPath:
+    """Carve ``root``'s duration into named, gap-free slices."""
+    t0, t1 = root.t_ns, root.end_ns
+    ordered = sorted(
+        children,
+        key=lambda ev: (
+            ev.t_ns,
+            _PHASE_ORDER.get(ev.name[len(_REQ_PREFIX):], 99),
+            ev.name,
+        ),
+    )
+    slices: List[PhaseSlice] = []
+    cursor = t0
+    prev: Optional[str] = None
+    for ev in ordered:
+        phase = ev.name[len(_REQ_PREFIX):]
+        start = max(ev.t_ns, cursor)
+        end = min(ev.end_ns, t1)
+        if start > cursor:
+            slices.append(
+                PhaseSlice(_gap_name(prev, phase), cursor, start - cursor,
+                           derived=True)
+            )
+            cursor = start
+        if end > cursor:
+            slices.append(
+                PhaseSlice(phase, cursor, end - cursor, derived=False)
+            )
+            cursor = end
+        prev = phase
+    if cursor < t1:
+        slices.append(
+            PhaseSlice(_gap_name(prev, None), cursor, t1 - cursor,
+                       derived=True)
+        )
+    fields = root.fields or {}
+    return RequestPath(
+        trace=str(fields.get("trace", "?")),
+        op=fields.get("op"),
+        shard=fields.get("shard"),
+        status=fields.get("status"),
+        t_ns=t0,
+        dur_ns=root.dur_ns,
+        slices=tuple(slices),
+    )
+
+
+def _analyze_requests(
+    path: str, events: Sequence[TraceEvent]
+) -> CriticalReport:
+    roots = [
+        ev for ev in events if ev.kind == "span" and ev.name == "request"
+    ]
+    children: Dict[str, List[TraceEvent]] = {}
+    for ev in events:
+        if ev.kind == "span" and ev.name.startswith(_REQ_PREFIX):
+            trace = str((ev.fields or {}).get("trace", "?"))
+            children.setdefault(trace, []).append(ev)
+    requests = [
+        _attribute_request(
+            root, children.get(str((root.fields or {}).get("trace", "?")), [])
+        )
+        for root in roots
+    ]
+    requests.sort(key=lambda r: (r.t_ns, r.trace))
+    phases: Dict[str, dict] = {}
+    for req in requests:
+        for s in req.slices:
+            agg = phases.setdefault(
+                s.name,
+                {"count": 0, "total_ns": 0, "max_ns": 0,
+                 "derived": s.derived},
+            )
+            agg["count"] += 1
+            agg["total_ns"] += s.dur_ns
+            agg["max_ns"] = max(agg["max_ns"], s.dur_ns)
+    return CriticalReport(
+        path=path,
+        mode="requests",
+        events=len(events),
+        requests=requests,
+        phases=phases,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Span mode
+# ---------------------------------------------------------------------- #
+def _build_forest(
+    events: Sequence[TraceEvent],
+) -> Tuple[List[SpanNode], int]:
+    """Rebuild span trees from the exit-ordered, depth-stamped stream.
+
+    Children close before their parent and carry ``depth + 1``, so when
+    a span at depth ``d`` arrives, every pending node at ``d + 1``
+    recorded since the parent opened belongs to it.  Pending nodes the
+    parent's window does not contain (their parent was evicted from the
+    ring) are counted as orphans instead of being misattached.
+    """
+    pending: Dict[int, List[SpanNode]] = {}
+    orphans = 0
+    for ev in events:
+        if ev.kind != "span":
+            continue
+        node = SpanNode(ev)
+        candidates = pending.pop(ev.depth + 1, [])
+        for child in candidates:
+            if child.event.t_ns >= ev.t_ns and child.event.end_ns <= ev.end_ns:
+                node.children.append(child)
+            else:
+                orphans += 1
+        pending.setdefault(ev.depth, []).append(node)
+    roots = pending.pop(0, [])
+    orphans += sum(len(v) for v in pending.values())
+    return roots, orphans
+
+
+def _analyze_spans(path: str, events: Sequence[TraceEvent]) -> CriticalReport:
+    roots, orphans = _build_forest(events)
+    names: Dict[str, dict] = {}
+
+    def visit(node: SpanNode) -> None:
+        agg = names.setdefault(
+            node.event.name,
+            {"count": 0, "total_ns": 0, "self_ns": 0, "max_ns": 0},
+        )
+        agg["count"] += 1
+        agg["total_ns"] += node.event.dur_ns
+        agg["self_ns"] += node.self_ns
+        agg["max_ns"] = max(agg["max_ns"], node.event.dur_ns)
+        for child in node.children:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+
+    critical: List[dict] = []
+    if roots:
+        node = max(roots, key=lambda n: (n.event.dur_ns, n.event.name))
+        depth = 0
+        while node is not None:
+            critical.append(
+                {
+                    "name": node.event.name,
+                    "depth": depth,
+                    "dur_ns": node.event.dur_ns,
+                    "self_ns": node.self_ns,
+                }
+            )
+            node = max(
+                node.children,
+                key=lambda n: (n.event.dur_ns, n.event.name),
+                default=None,
+            )
+            depth += 1
+    return CriticalReport(
+        path=path,
+        mode="spans",
+        events=len(events),
+        names=names,
+        critical_path=critical,
+        orphans=orphans,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Entry points
+# ---------------------------------------------------------------------- #
+def analyze_events(
+    events: Sequence[TraceEvent], *, path: str = "<memory>"
+) -> CriticalReport:
+    """Analyze an in-memory event list (request mode when applicable)."""
+    has_requests = any(
+        ev.kind == "span" and ev.name == "request" for ev in events
+    )
+    if has_requests:
+        return _analyze_requests(path, events)
+    return _analyze_spans(path, events)
+
+
+def analyze_trace(path: Union[str, pathlib.Path]) -> CriticalReport:
+    """Analyze a Tracer JSONL file.
+
+    Serve traces (containing ``request`` root spans) get per-request
+    phase attribution; other traces get span-tree self-time analysis.
+    Raises ``ValueError`` if the file holds no spans at all.
+    """
+    path = pathlib.Path(path)
+    events = read_trace(path)
+    spans = [ev for ev in events if ev.kind == "span"]
+    if not spans:
+        raise ValueError(
+            f"{path}: no spans to analyze (events only — was this trace "
+            "written with span recording enabled?)"
+        )
+    return analyze_events(events, path=str(path))

@@ -1,0 +1,438 @@
+"""Statistical stack sampler: continuous, in-process CPU profiling.
+
+The production question PR 9's telemetry cannot answer is *which code*
+was on-CPU when a latency budget burned.  :class:`StackSampler` answers
+it with nothing but the stdlib: a daemon thread wakes at a fixed rate
+(default 97 Hz — prime, so it does not alias against 10 ms schedulers
+or 100 Hz timer interrupts), snapshots every thread's Python stack via
+``sys._current_frames()``, and folds each stack into an interned
+aggregate.  Memory is bounded and drop-free: past ``max_stacks`` unique
+stacks, further samples land in a synthetic ``(truncated)`` bucket so
+total sample weight is always conserved.
+
+Cost model:
+
+- disabled (``enabled=False`` or never started): no thread, no lock,
+  ``stop()`` returns an empty profile — the serve hot path pays one
+  attribute check.
+- enabled: one stack walk per live thread per tick.  At 97 Hz and
+  ~20-frame stacks this is well under 1% of a core; the contract is
+  frozen by ``benchmarks/bench_profiler.py`` (``profiler_on_ratio``).
+
+The aggregate is exposed as an immutable :class:`Profile` (frame table
++ weighted collapsed stacks) which ``repro.obs.prof.flame`` renders as
+flamegraph inputs and ``repro-dbp obs flame`` serves from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_HZ",
+    "DEFAULT_MAX_STACKS",
+    "Frame",
+    "Profile",
+    "Stack",
+    "StackSampler",
+    "TRUNCATED_FRAME",
+    "merge_profiles",
+]
+
+#: Default sampling rate.  Prime on purpose: a rate that divides common
+#: timer frequencies (50/100/250 Hz) samples the same scheduler phase
+#: over and over; 97 Hz walks across it.
+DEFAULT_HZ = 97.0
+
+#: Bound on distinct (thread, stack) aggregates before overflow samples
+#: collapse into the ``(truncated)`` bucket.
+DEFAULT_MAX_STACKS = 10_000
+
+PROFILE_SCHEMA = 1
+
+#: Synthetic frame used for the overflow bucket.
+TRUNCATED_FRAME = ("(truncated)", "", 0)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One interned code location."""
+
+    name: str
+    file: str
+    line: int
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "file": self.file, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Frame":
+        return cls(
+            name=str(data["name"]),
+            file=str(data.get("file", "")),
+            line=int(data.get("line", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Stack:
+    """One aggregated call stack: root-first frame indices + weight."""
+
+    thread: str
+    frames: Tuple[int, ...]
+    count: int
+
+    def to_dict(self) -> dict:
+        return {"thread": self.thread, "frames": list(self.frames),
+                "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Stack":
+        return cls(
+            thread=str(data["thread"]),
+            frames=tuple(int(i) for i in data["frames"]),
+            count=int(data["count"]),
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """An immutable sampling aggregate.
+
+    ``frames`` is the interned frame table; each :class:`Stack` holds
+    root-first indices into it.  ``samples`` counts sampling ticks that
+    captured at least one thread; ``missed`` counts ticks skipped when
+    the sampler fell behind its absolute schedule; ``truncated`` counts
+    samples folded into the overflow bucket.  Weight is conserved:
+    ``sum(s.count for s in stacks)`` equals the number of captured
+    (thread, tick) pairs, including truncated ones.
+    """
+
+    hz: float
+    samples: int
+    missed: int
+    truncated: int
+    duration_s: float
+    frames: Tuple[Frame, ...]
+    stacks: Tuple[Stack, ...]
+
+    @property
+    def total_weight(self) -> int:
+        return sum(stack.count for stack in self.stacks)
+
+    @property
+    def threads(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for stack in self.stacks:
+            seen.setdefault(stack.thread, None)
+        return tuple(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "hz": self.hz,
+            "samples": self.samples,
+            "missed": self.missed,
+            "truncated": self.truncated,
+            "duration_s": self.duration_s,
+            "frames": [frame.to_dict() for frame in self.frames],
+            "stacks": [stack.to_dict() for stack in self.stacks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profile":
+        schema = data.get("schema")
+        if schema != PROFILE_SCHEMA:
+            raise ValueError(
+                f"unsupported profile schema {schema!r} "
+                f"(expected {PROFILE_SCHEMA})"
+            )
+        frames = tuple(Frame.from_dict(f) for f in data.get("frames", ()))
+        stacks = tuple(Stack.from_dict(s) for s in data.get("stacks", ()))
+        for stack in stacks:
+            for index in stack.frames:
+                if not 0 <= index < len(frames):
+                    raise ValueError(
+                        f"profile stack references frame {index} outside "
+                        f"the {len(frames)}-entry frame table"
+                    )
+        return cls(
+            hz=float(data.get("hz", DEFAULT_HZ)),
+            samples=int(data.get("samples", 0)),
+            missed=int(data.get("missed", 0)),
+            truncated=int(data.get("truncated", 0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            frames=frames,
+            stacks=stacks,
+        )
+
+    def write(self, path) -> Path:
+        """Serialise to ``path`` as deterministic JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+        return path
+
+    @classmethod
+    def read(cls, path) -> "Profile":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def stats(self) -> dict:
+        """A small scalar summary suitable for ledger records."""
+        return {
+            "hz": self.hz,
+            "samples": self.samples,
+            "missed": self.missed,
+            "truncated": self.truncated,
+            "duration_s": round(self.duration_s, 6),
+            "unique_stacks": len(self.stacks),
+            "threads": len(self.threads),
+        }
+
+
+class StackSampler:
+    """Background-thread statistical profiler over ``sys._current_frames``.
+
+    Usage::
+
+        sampler = StackSampler(hz=97.0)
+        sampler.start()
+        ...
+        profile = sampler.stop()
+        profile.write("run.prof.json")
+
+    or as a context manager, after which :attr:`profile` holds the
+    result.  ``snapshot()`` produces an intermediate :class:`Profile`
+    without stopping — that is what the serve ``profile`` admin verb
+    returns while the service is live.
+
+    The loop keeps an *absolute* schedule (tick ``k`` fires at
+    ``t0 + k / hz``): a slow sample does not shift every later tick,
+    and ticks the sampler could not honour are counted in ``missed``
+    rather than silently compressing the timeline.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        *,
+        max_stacks: int = DEFAULT_MAX_STACKS,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sample rate must be positive, got {hz!r}")
+        if max_stacks < 1:
+            raise ValueError(f"max_stacks must be >= 1, got {max_stacks!r}")
+        self.hz = float(hz)
+        self.max_stacks = int(max_stacks)
+        self.enabled = bool(enabled)
+        self._clock = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._stopped_after: float = 0.0
+        # Interning tables.  Keys hold code objects alive, which is the
+        # point: identity stays valid for the run's duration.
+        self._frame_index: Dict[object, int] = {}
+        self._frames: List[Tuple[str, str, int]] = []
+        self._counts: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._thread_names: Dict[int, str] = {}
+        self._samples = 0
+        self._missed = 0
+        self._truncated_count = 0
+        self.profile: Optional[Profile] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "StackSampler":
+        if not self.enabled or self.running:
+            return self
+        self._stop_event.clear()
+        self._started_at = self._clock()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-prof-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        """Stop sampling (idempotent) and return the final profile."""
+        thread = self._thread
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+            if self._started_at is not None:
+                self._stopped_after = self._clock() - self._started_at
+                self._started_at = None
+        self.profile = self.snapshot()
+        return self.profile
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------
+
+    def _loop(self) -> None:
+        interval = 1.0 / self.hz
+        clock = self._clock
+        t0 = clock()
+        tick = 1
+        while True:
+            deadline = t0 + tick * interval
+            delay = deadline - clock()
+            if self._stop_event.wait(delay if delay > 0 else 0):
+                return
+            self._sample()
+            tick += 1
+            now = clock()
+            behind = now - (t0 + tick * interval)
+            if behind > 0:
+                skipped = int(behind / interval) + 1
+                with self._lock:
+                    self._missed += skipped
+                tick += skipped
+
+    def _sample(self) -> None:
+        own_ids = {threading.get_ident()}
+        frames_by_tid = sys._current_frames()
+        names = self._thread_names
+        unseen = [tid for tid in frames_by_tid if tid not in names]
+        if unseen:
+            live = {t.ident: t.name for t in threading.enumerate()}
+            for tid in unseen:
+                names[tid] = live.get(tid, f"thread-{tid}")
+        with self._lock:
+            captured = False
+            for tid, frame in frames_by_tid.items():
+                if tid in own_ids:
+                    continue
+                stack = self._collapse(frame)
+                if not stack:
+                    continue
+                captured = True
+                key = (names[tid], stack)
+                if key in self._counts:
+                    self._counts[key] += 1
+                elif len(self._counts) < self.max_stacks:
+                    self._counts[key] = 1
+                else:
+                    overflow = (names[tid], (self._intern_truncated(),))
+                    self._counts[overflow] = self._counts.get(overflow, 0) + 1
+                    self._truncated_count += 1
+            if captured:
+                self._samples += 1
+
+    def _collapse(self, frame) -> Tuple[int, ...]:
+        """Walk a frame chain leaf->root, returning root-first indices."""
+        indices: List[int] = []
+        index = self._frame_index
+        frames = self._frames
+        while frame is not None:
+            code = frame.f_code
+            idx = index.get(code)
+            if idx is None:
+                idx = len(frames)
+                frames.append(
+                    (code.co_name, code.co_filename, code.co_firstlineno)
+                )
+                index[code] = idx
+            indices.append(idx)
+            frame = frame.f_back
+        indices.reverse()
+        return tuple(indices)
+
+    def _intern_truncated(self) -> int:
+        idx = self._frame_index.get(TRUNCATED_FRAME)
+        if idx is None:
+            idx = len(self._frames)
+            self._frames.append(TRUNCATED_FRAME)
+            self._frame_index[TRUNCATED_FRAME] = idx
+        return idx
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Profile:
+        """An immutable copy of the aggregate so far (safe while live)."""
+        with self._lock:
+            frames = tuple(Frame(n, f, ln) for n, f, ln in self._frames)
+            items = sorted(self._counts.items())
+            samples = self._samples
+            missed = self._missed
+            truncated = self._truncated_count
+        if self._started_at is not None:
+            duration = self._clock() - self._started_at
+        else:
+            duration = self._stopped_after
+        stacks = tuple(
+            Stack(thread=thread, frames=stack, count=count)
+            for (thread, stack), count in items
+        )
+        return Profile(
+            hz=self.hz,
+            samples=samples,
+            missed=missed,
+            truncated=truncated,
+            duration_s=duration,
+            frames=frames,
+            stacks=stacks,
+        )
+
+
+def merge_profiles(profiles: Sequence[Profile]) -> Profile:
+    """Merge profiles (e.g. across chaos restarts) into one aggregate.
+
+    Frame tables are re-interned by (name, file, line); stack weights
+    for identical (thread, stack) keys are summed.  ``hz`` is taken
+    from the first profile; callers should only merge same-rate runs.
+    """
+    if not profiles:
+        return Profile(hz=DEFAULT_HZ, samples=0, missed=0, truncated=0,
+                       duration_s=0.0, frames=(), stacks=())
+    frame_index: Dict[Tuple[str, str, int], int] = {}
+    frames: List[Frame] = []
+    counts: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+    for profile in profiles:
+        remap = []
+        for frame in profile.frames:
+            key = (frame.name, frame.file, frame.line)
+            idx = frame_index.get(key)
+            if idx is None:
+                idx = len(frames)
+                frames.append(frame)
+                frame_index[key] = idx
+            remap.append(idx)
+        for stack in profile.stacks:
+            key = (stack.thread, tuple(remap[i] for i in stack.frames))
+            counts[key] = counts.get(key, 0) + stack.count
+    stacks = tuple(
+        Stack(thread=thread, frames=stack, count=count)
+        for (thread, stack), count in sorted(counts.items())
+    )
+    return Profile(
+        hz=profiles[0].hz,
+        samples=sum(p.samples for p in profiles),
+        missed=sum(p.missed for p in profiles),
+        truncated=sum(p.truncated for p in profiles),
+        duration_s=sum(p.duration_s for p in profiles),
+        frames=tuple(frames),
+        stacks=stacks,
+    )

@@ -162,6 +162,10 @@ class PlacementClient:
         """Fetch the server's live telemetry snapshot (the admin verb)."""
         return await self.request({"op": "telemetry"})
 
+    async def profile(self) -> dict:
+        """Fetch the server's live profiling snapshot (the admin verb)."""
+        return await self.request({"op": "profile"})
+
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})
 

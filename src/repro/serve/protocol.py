@@ -18,6 +18,7 @@ Requests
     {"op": "advance", "time": 10.0}             # move every shard's clock
     {"op": "stats"}                             # service-wide snapshot
     {"op": "telemetry"}                         # RED/tracing snapshot
+    {"op": "profile"}                           # live profiling snapshot
     {"op": "ping"}
 
 ``seq`` is an optional client-chosen correlation token echoed verbatim
@@ -76,7 +77,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: operations a client may request
-OPS = ("arrive", "depart", "advance", "stats", "ping", "telemetry")
+OPS = ("arrive", "depart", "advance", "stats", "ping", "telemetry", "profile")
 
 #: machine-readable error codes a reply's ``error`` field may carry
 ERROR_CODES = (
@@ -267,7 +268,8 @@ def parse_request(line: Union[str, bytes]) -> Request:
         return Request(
             op=op, seq=seq, time=_number(obj, "time", seq), trace=trace
         )
-    return Request(op=op, seq=seq, trace=trace)  # stats / ping / telemetry
+    # stats / ping / telemetry / profile
+    return Request(op=op, seq=seq, trace=trace)
 
 
 def ok_reply(op: str, *, seq=None, **fields) -> dict:

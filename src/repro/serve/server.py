@@ -80,6 +80,8 @@ class ServeConfig:
     trace_sample: float = 1.0  #: head-sampling rate for span trees
     telemetry_seed: int = 0  #: salt of the deterministic sampling hash
     trace_out: Optional[Union[str, pathlib.Path]] = None  #: JSONL on drain
+    sample_hz: float = 0.0  #: continuous stack-sampling rate (0 = off)
+    profile_out: Optional[Union[str, pathlib.Path]] = None  #: JSON on drain
 
     def shard_checkpoint(self, shard_id: int) -> pathlib.Path:
         if self.checkpoint_dir is None:
@@ -118,6 +120,7 @@ class PlacementServer:
         transport: Optional[Transport] = None,
         clock: Optional[Callable[[], float]] = None,
         telemetry=None,
+        sampler=None,
     ) -> None:
         self.config = config
         self.transport = transport if transport is not None else TcpTransport()
@@ -141,6 +144,23 @@ class PlacementServer:
             )
         else:
             self.telemetry = None
+        # the profiling plane mirrors the telemetry injection contract:
+        # an injected StackSampler (the chaos harness shares one across
+        # graceful restarts, so the aggregate spans crash cycles and the
+        # harness owns start/stop), one built from config.sample_hz, or
+        # None.  Only an owned sampler is stopped and flushed at drain.
+        if sampler is not None:
+            self.sampler = sampler
+            self._sampler_owned = False
+        elif config.sample_hz > 0:
+            from ..obs.prof import StackSampler
+
+            self.sampler = StackSampler(config.sample_hz)
+            self._sampler_owned = True
+        else:
+            self.sampler = None
+            self._sampler_owned = False
+        self.profile_path: Optional[pathlib.Path] = None
         if registry is None:
             from ..parallel import _registry
 
@@ -250,6 +270,8 @@ class PlacementServer:
             self._build_shards()
         for shard in self.shards:
             shard.start()
+        if self.sampler is not None and self._sampler_owned:
+            self.sampler.start()
         self._server = await self.transport.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -307,6 +329,13 @@ class PlacementServer:
                 shard.checkpoint(
                     self.config.shard_checkpoint(shard.shard_id)
                 )
+        # stop the owned sampler before the ledger record is written so
+        # the record can point at the flushed profile artifact; a shared
+        # (injected) sampler keeps running — its owner flushes it
+        if self.sampler is not None and self._sampler_owned:
+            profile = self.sampler.stop()
+            if self.config.profile_out is not None:
+                self.profile_path = profile.write(self.config.profile_out)
         if self.config.ledger_dir is not None:
             self._write_ledger()
         if (
@@ -342,9 +371,24 @@ class PlacementServer:
             },
             ledger_dir=cfg.ledger_dir,
             wall_s=wall,
+            profile_info=self._profile_info(),
         )
         sink.emit(self._metrics_snapshot())
         self.ledger_path = sink.last_path
+
+    def _profile_info(self) -> Optional[dict]:
+        """Sampler stats + artifact pointer for the ledger (never gated)."""
+        if self.sampler is None:
+            return None
+        profile = (
+            self.sampler.profile
+            if self.sampler.profile is not None
+            else self.sampler.snapshot()
+        )
+        info = {"sampler": profile.stats()}
+        if self.profile_path is not None:
+            info["artifact"] = str(self.profile_path)
+        return info
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -442,6 +486,9 @@ class PlacementServer:
         if req.op == "telemetry":
             # admin plane — answered even while draining, like stats
             conn.out.put_nowait(self._telemetry_reply(req))
+            return
+        if req.op == "profile":
+            conn.out.put_nowait(self._profile_reply(req))
             return
         if self.draining:
             self._count_error("draining")
@@ -656,6 +703,36 @@ class PlacementServer:
             v=PROTOCOL_VERSION,
             enabled=True,
             snapshot=self.telemetry.snapshot(self.shards),
+        )
+
+    def _profile_reply(self, req: Request) -> dict:
+        if self.sampler is None:
+            return ok_reply(
+                "profile", seq=req.seq, v=PROTOCOL_VERSION, enabled=False
+            )
+        from ..obs.prof import top_functions
+
+        profile = self.sampler.snapshot()
+        total = profile.total_weight
+        top = [
+            {
+                "name": frame.name,
+                "file": frame.file,
+                "line": frame.line,
+                "self": self_w,
+                "cum": cum_w,
+            }
+            for frame, self_w, cum_w in top_functions(profile, 15)
+        ]
+        return ok_reply(
+            "profile",
+            seq=req.seq,
+            v=PROTOCOL_VERSION,
+            enabled=True,
+            running=self.sampler.running,
+            stats=profile.stats(),
+            total_weight=total,
+            top=top,
         )
 
     def _metrics_snapshot(self) -> dict:

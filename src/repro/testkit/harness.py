@@ -56,6 +56,10 @@ class ChaosReport:
     #: sampled span trees as JSONL lines (virtual-clock timestamps, so
     #: two replays of one plan produce byte-identical lists)
     trace_lines: List[str] = field(default_factory=list)
+    #: stack-sampler stats (``run_chaos(..., sampler=...)``): the shared
+    #: sampler rides across graceful restarts like the telemetry does.
+    #: Wall-clock, not virtual-clock — reported but never asserted on.
+    profile: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -76,6 +80,7 @@ class ChaosReport:
             "virtual_duration": self.virtual_duration,
             "telemetry": self.telemetry,
             "trace_lines": list(self.trace_lines),
+            "profile": self.profile,
         }
 
     def summary(self) -> str:
@@ -97,6 +102,7 @@ def run_chaos(
     checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
     registry=None,
     telemetry: bool = False,
+    sampler=None,
 ) -> ChaosReport:
     """Execute ``plan`` on a fresh virtual-time universe (see above).
 
@@ -105,6 +111,14 @@ def run_chaos(
     clock (seeded from the plan) and returns its snapshot plus the
     sampled span JSONL in the report — a pure function of the plan,
     like everything else here.
+
+    ``sampler`` (a :class:`~repro.obs.prof.StackSampler`) is shared
+    across every server incarnation the plan spawns, exactly like the
+    telemetry: the harness starts it, hands it to each restart, stops
+    it at the end, and reports its stats.  Stack samples run on the
+    *wall* clock (real thread, real frames), so the profile is genuine
+    CPU attribution but — unlike everything else in the report — not a
+    pure function of the plan.
     """
     if plan.needs_checkpoint_dir() and checkpoint_dir is None:
         with tempfile.TemporaryDirectory(prefix="chaos-ckpt-") as tmp:
@@ -113,8 +127,11 @@ def run_chaos(
                 checkpoint_dir=tmp,
                 registry=registry,
                 telemetry=telemetry,
+                sampler=sampler,
             )
-    return sim_run(_run_plan(plan, checkpoint_dir, registry, telemetry))
+    return sim_run(
+        _run_plan(plan, checkpoint_dir, registry, telemetry, sampler)
+    )
 
 
 async def _run_plan(
@@ -122,6 +139,7 @@ async def _run_plan(
     checkpoint_dir,
     registry,
     telemetry: bool = False,
+    sampler=None,
 ) -> ChaosReport:
     loop = asyncio.get_running_loop()
     assert isinstance(loop, SimLoop), "run_chaos must drive a SimLoop"
@@ -156,9 +174,11 @@ async def _run_plan(
     def _shard(idx: int):
         return box["server"].shards[idx]
 
+    if sampler is not None:
+        sampler.start()
     server = PlacementServer(
         config, registry=registry, transport=net, clock=loop.time,
-        telemetry=tel,
+        telemetry=tel, sampler=sampler,
     )
     await server.start()
     box["server"] = server
@@ -214,7 +234,8 @@ async def _run_plan(
             at(
                 event.at,
                 lambda: loop.create_task(_graceful_restart(
-                    box, config, net, loop, port, plan, registry, tel
+                    box, config, net, loop, port, plan, registry, tel,
+                    sampler,
                 )),
                 "restart",
             )
@@ -281,6 +302,9 @@ async def _run_plan(
             _json.dumps(ev.to_dict(), sort_keys=True)
             for ev in tel.tracer.events()
         ]
+    profile_stats = None
+    if sampler is not None:
+        profile_stats = sampler.stop().stats()
     return ChaosReport(
         plan=plan,
         verdict=verdict,
@@ -290,6 +314,7 @@ async def _run_plan(
         virtual_duration=duration,
         telemetry=tel_snapshot,
         trace_lines=trace_lines,
+        profile=profile_stats,
     )
 
 
@@ -306,7 +331,7 @@ def _plan_items(plan: FaultPlan):
 
 async def _graceful_restart(
     box, config: ServeConfig, net: SimNet, loop, port: int, plan, registry,
-    tel=None,
+    tel=None, sampler=None,
 ) -> None:
     """Drain the server to checkpoint files, then resume a fresh one.
 
@@ -314,7 +339,8 @@ async def _graceful_restart(
     refusals, then dead connections, then ``ConnectionRefusedError`` —
     all retryable — and finally a server whose shards continue their
     decision streams bit-for-bit from the checkpoint files.  The shared
-    ``tel`` (if any) carries telemetry across the incarnation boundary.
+    ``tel`` and ``sampler`` (if any) carry telemetry and the profiling
+    aggregate across the incarnation boundary.
     """
     old = box["server"]
     await old.drain()
@@ -324,6 +350,7 @@ async def _graceful_restart(
         transport=net,
         clock=loop.time,
         telemetry=tel,
+        sampler=sampler,
     )
     await new.start()
     if plan.disable_dedup:

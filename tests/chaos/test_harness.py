@@ -196,3 +196,31 @@ class TestDeterminismAndShape:
                 r.uid for r in report.client.acked if r.shard == shard
             )
             assert uids == list(range(len(uids)))
+
+
+class TestSharedSampler:
+    """An injected stack sampler rides across restarts and lands in the
+    report; the harness never stops a sampler it does not own mid-plan."""
+
+    def test_sampler_survives_restart_and_reports_stats(self):
+        from repro.obs.prof import StackSampler
+
+        sampler = StackSampler(500.0)
+        report = run_chaos(
+            FaultPlan(
+                seed=8, shards=2, n_items=80,
+                events=[ShardEvent(kind="restart", at=0.08)],
+            ),
+            sampler=sampler,
+        )
+        _assert_clean(report)
+        assert not sampler.running  # harness stops it at plan end
+        assert report.profile is not None
+        assert report.profile["hz"] == 500.0
+        assert report.profile["samples"] >= 0
+        assert report.to_dict()["profile"] == report.profile
+
+    def test_no_sampler_leaves_profile_empty(self):
+        report = run_chaos(FaultPlan(seed=1, shards=1, n_items=20))
+        assert report.profile is None
+        assert report.to_dict()["profile"] is None

@@ -118,10 +118,18 @@ class TestSummarizeTrace:
             summarize_trace(path)
 
     def test_bad_line_raises_with_location(self, tmp_path):
+        # corruption mid-file is fatal; only a truncated *final* line
+        # (a crash mid-write) is tolerated with a warning
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"name": "ok"}\nnot json\n')
+        path.write_text('{"name": "ok"}\nnot json\n{"name": "ok"}\n')
         with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
             summarize_trace(path)
+
+    def test_truncated_final_line_warns(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"name": "ok"}\n{"name": "ok", "t_n')
+        summary = summarize_trace(path)
+        assert "warning: final line 2 is truncated" in summary
 
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):

@@ -191,4 +191,5 @@ class TestReplies:
     def test_every_op_is_listed(self):
         assert set(OPS) == {
             "arrive", "depart", "advance", "stats", "ping", "telemetry",
+            "profile",
         }

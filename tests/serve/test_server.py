@@ -517,3 +517,69 @@ class TestStatsQueueFields:
             await server.drain()
 
         run(main())
+
+
+class TestProfileVerb:
+    """The continuous-profiling admin plane: live verb + drain artifact."""
+
+    def test_profile_disabled_by_default(self):
+        async def main():
+            server = await started(ServeConfig())
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            reply = await client.profile()
+            await client.aclose()
+            await server.drain()
+            return reply
+
+        reply = run(main())
+        assert reply["ok"] and reply["enabled"] is False
+        assert "stats" not in reply
+
+    def test_live_profile_snapshot(self):
+        async def main():
+            server = await started(ServeConfig(sample_hz=500.0))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(200):
+                await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.01
+                )
+            reply = await client.profile()
+            await client.aclose()
+            await server.drain()
+            return reply
+
+        reply = run(main())
+        assert reply["ok"] and reply["enabled"] is True
+        assert reply["running"] is True
+        assert reply["stats"]["hz"] == 500.0
+        assert reply["total_weight"] >= reply["stats"]["samples"]
+        for row in reply["top"]:
+            assert set(row) == {"name", "file", "line", "self", "cum"}
+            assert row["cum"] >= row["self"]
+
+    def test_drain_flushes_artifact_and_stamps_ledger(self, tmp_path):
+        from repro.obs.prof import Profile
+
+        async def main():
+            server = await started(ServeConfig(
+                sample_hz=500.0,
+                profile_out=tmp_path / "serve.prof.json",
+                ledger_dir=tmp_path / "ledger",
+            ))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(100):
+                await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.01
+                )
+            await client.aclose()
+            await server.drain()
+            return server
+
+        server = run(main())
+        assert server.profile_path == tmp_path / "serve.prof.json"
+        profile = Profile.read(server.profile_path)
+        assert profile.hz == 500.0
+        record = json.loads(server.ledger_path.read_text())
+        assert record["profile"]["sampler"]["hz"] == 500.0
+        assert record["profile"]["artifact"] == str(server.profile_path)
+        assert not server.sampler.running

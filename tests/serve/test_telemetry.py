@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 
 import pytest
 
@@ -404,3 +405,113 @@ class TestPrometheus:
         snap = self._snapshot()
         tel = ServiceTelemetry(2)
         assert tel.render_prometheus(snap) == render_service_prometheus(snap)
+
+
+class TestPrometheusExposition:
+    """The text-exposition contract: names, labels, bucket shape."""
+
+    _NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+    def _page(self):
+        snapshot = TestPrometheus._snapshot(TestPrometheus())
+        return render_service_prometheus(snapshot)
+
+    def test_every_metric_name_is_valid(self):
+        for ln in self._page().splitlines():
+            if not ln or ln.startswith("#"):
+                continue
+            series = ln.rsplit(" ", 1)[0]
+            name = series.split("{", 1)[0]
+            assert self._NAME.match(name), f"invalid metric name: {name!r}"
+
+    def test_every_bucket_series_is_monotone(self):
+        groups: dict = {}
+        for ln in self._page().splitlines():
+            if "_bucket{" not in ln:
+                continue
+            series, value = ln.rsplit(" ", 1)
+            name, labels = series.split("{", 1)
+            labels = labels.rstrip("}")
+            pairs = dict(p.split("=", 1) for p in labels.split(","))
+            le = pairs.pop("le").strip('"')
+            key = (name, tuple(sorted(pairs.items())))
+            groups.setdefault(key, []).append((le, float(value)))
+        assert groups, "no histogram buckets on the page"
+        for key, buckets in groups.items():
+            counts = [count for _, count in buckets]
+            assert counts == sorted(counts), f"non-monotone buckets: {key}"
+            assert buckets[-1][0] == "+Inf", f"missing +Inf bucket: {key}"
+
+    def test_label_values_are_escaped(self):
+        from repro.obs.export import render_prometheus
+
+        page = render_prometheus(
+            {"counters": {"requests": 3}},
+            prefix="repro_serve",
+            labels={"tenant": 'a"b\\c\nd'},
+        )
+        assert 'tenant="a\\"b\\\\c\\nd"' in page
+        # the escaped line still parses as <series> <value>
+        line = next(
+            ln for ln in page.splitlines() if not ln.startswith("#")
+        )
+        assert float(line.rsplit(" ", 1)[1]) == 3.0
+
+    def test_weird_counter_names_are_sanitised(self):
+        # refusal codes become counter names; dashes and dots must be
+        # folded into legal metric characters rather than leak through
+        page = render_service_prometheus(
+            {
+                "per_shard": [],
+                "parse_errors": 1,
+                "refusals": {"bad-op.v2": 4},
+                "uptime_s": 0.5,
+            }
+        )
+        assert "repro_serve_refused_bad_op_v2_total 4" in page
+        for ln in page.splitlines():
+            if not ln or ln.startswith("#"):
+                continue
+            name = ln.rsplit(" ", 1)[0].split("{", 1)[0]
+            assert self._NAME.match(name)
+
+
+class TestCriticalPathEndToEnd:
+    """A drained trace feeds the critical-path analyzer: every request
+    fully attributed, and the analysis is deterministic."""
+
+    def _trace(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+
+        async def main():
+            server = await started(telemetry_config(trace_out=path, shards=2))
+            client = await PlacementClient.connect("127.0.0.1", server.port)
+            for k in range(50):
+                await client.arrive(
+                    k, arrival=0.0, departure=1.0, size=0.01,
+                    tenant=f"t{k % 4}",
+                )
+            await client.aclose()
+            await server.drain()
+
+        run(main())
+        return path
+
+    def test_every_request_fully_attributed(self, tmp_path):
+        from repro.obs.prof import analyze_trace
+
+        report = analyze_trace(self._trace(tmp_path))
+        assert report.mode == "requests"
+        assert len(report.requests) == 50
+        for req in report.requests:
+            assert req.coverage >= 0.95
+        assert report.to_dict()["summary"]["min_coverage"] >= 0.95
+
+    def test_analysis_is_byte_identical(self, tmp_path):
+        from repro.obs.prof import analyze_trace
+
+        path = self._trace(tmp_path)
+        first = json.dumps(analyze_trace(path).to_dict(), sort_keys=True)
+        second = json.dumps(analyze_trace(path).to_dict(), sort_keys=True)
+        assert first == second
+        assert analyze_trace(path).render() == analyze_trace(path).render()

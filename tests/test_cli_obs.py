@@ -32,12 +32,59 @@ class TestSummarizeErrors:
         assert "empty trace" in err
         assert err.count("\n") == 1
 
-    def test_truncated_trace_reports_line_number(self, tmp_path, capsys):
+    def test_truncated_final_line_warns_and_succeeds(self, tmp_path,
+                                                     capsys):
+        # a crash mid-write leaves a cut-off last record; the rest of
+        # the trace is still good evidence and must stay summarizable
         path = tmp_path / "cut.jsonl"
-        path.write_text('{"name": "ok"}\n{"name": "cut-off', )
+        path.write_text('{"name": "ok"}\n{"name": "cut-off')
+        assert main(["obs", "summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "warning: final line 2 is truncated" in captured.out
+        assert "ok" in captured.out  # the intact record is summarized
+
+    def test_midfile_corruption_reports_line_number(self, tmp_path,
+                                                    capsys):
+        # corruption *followed by* valid lines is not a crashed tail —
+        # that still fails loudly with the offending line number
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"name": "ok"}\n{"name": "cut-off\n{"name": "ok"}\n')
         assert main(["obs", "summarize", str(path)]) == 1
         err = capsys.readouterr().err
         assert f"{path}:2" in err
+        assert "Traceback" not in err
+
+
+class TestSummarizeTop:
+    def _trace(self, tmp_path, names=("a", "b", "c", "d")):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as fh:
+            for k, name in enumerate(names):
+                fh.write(json.dumps(
+                    {"name": name, "t_ns": k, "dur_ns": 0, "depth": 0,
+                     "fields": {}}
+                ) + "\n")
+        return str(path)
+
+    def test_top_bounds_the_table(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["obs", "summarize", path, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(+2 more name(s)" in out
+
+    def test_top_larger_than_table_shows_everything(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["obs", "summarize", path, "--top", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "more name(s)" not in out
+        for name in ("a", "b", "c", "d"):
+            assert name in out
+
+    def test_top_zero_is_one_line_error(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["obs", "summarize", path, "--top", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs summarize:")
         assert "Traceback" not in err
 
 
@@ -217,6 +264,96 @@ class TestRegress:
             ["obs", "regress", "--ledger-dir", str(led),
              "--baseline", str(moved)]
         ) == 0
+
+
+class TestFlame:
+    def _profile_path(self, tmp_path):
+        # the replay must span several sample ticks to collect stacks,
+        # so feed enough items to keep the engine busy for ~100ms+
+        trace = tmp_path / "big.jsonl"
+        dump_jsonl(uniform_random(8000, 16, seed=1), trace)
+        out = tmp_path / "replay.prof.json"
+        assert main(
+            ["replay", str(trace), "-a", "HybridAlgorithm",
+             "--sample-hz", "1997", "--profile-out", str(out),
+             "--no-ledger"]
+        ) == 0
+        return out
+
+    def test_replay_sample_hz_writes_profile(self, tmp_path, capsys):
+        out = self._profile_path(tmp_path)
+        assert "profile:" in capsys.readouterr().out
+        profile = json.loads(out.read_text())
+        assert profile["schema"] == 1
+        assert profile["hz"] == 1997.0
+
+    def test_flame_renders_top_table(self, tmp_path, capsys):
+        out = self._profile_path(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "flame", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "samples at 1997" in rendered
+        assert "self%" in rendered and "cum%" in rendered
+
+    def test_flame_exports_collapsed_and_speedscope(self, tmp_path,
+                                                    capsys):
+        out = self._profile_path(tmp_path)
+        collapsed = tmp_path / "c.txt"
+        speedscope = tmp_path / "s.json"
+        assert main(
+            ["obs", "flame", str(out), "--collapsed", str(collapsed),
+             "--speedscope", str(speedscope)]
+        ) == 0
+        lines = collapsed.read_text().strip().splitlines()
+        assert lines
+        for line in lines:  # "thread;frame;...;leaf count"
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack
+        scope = json.loads(speedscope.read_text())
+        assert scope["$schema"].startswith("https://www.speedscope.app")
+        assert scope["profiles"]
+
+    def test_flame_on_missing_profile_is_one_line_error(self, tmp_path,
+                                                        capsys):
+        assert main(["obs", "flame", str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs flame:")
+        assert "Traceback" not in err
+
+
+class TestCriticalPath:
+    def test_span_free_trace_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(
+            {"name": "kernel.place", "t_ns": 5, "dur_ns": 0, "depth": 0,
+             "fields": {}}
+        ) + "\n")
+        assert main(["obs", "critical-path", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("obs critical-path:")
+        assert "Traceback" not in err
+
+    def test_span_trace_renders_and_dumps_json(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(
+                {"name": "feed", "t_ns": 10, "dur_ns": 60, "depth": 1,
+                 "kind": "span", "fields": {}}
+            ) + "\n")
+            fh.write(json.dumps(
+                {"name": "replay", "t_ns": 0, "dur_ns": 100, "depth": 0,
+                 "kind": "span", "fields": {}}
+            ) + "\n")
+        out = tmp_path / "report.json"
+        assert main(
+            ["obs", "critical-path", str(path), "--json", str(out)]
+        ) == 0
+        rendered = capsys.readouterr().out
+        assert "critical path" in rendered
+        report = json.loads(out.read_text())
+        assert report["mode"] == "spans"
+        assert report["events"] == 2
 
 
 class TestStrictInvariants:

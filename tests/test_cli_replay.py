@@ -190,6 +190,6 @@ class TestObsSummarize:
 
     def test_summarize_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
-        bad.write_text("not json at all\n")
+        bad.write_text('not json at all\n{"name": "ok"}\n')
         assert main(["obs", "summarize", str(bad)]) == 1
         assert "not a JSONL trace line" in capsys.readouterr().err
